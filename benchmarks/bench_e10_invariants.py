@@ -1,0 +1,124 @@
+"""E10 -- Safety invariants over a randomized dynamic run.
+
+One randomized churn scenario is simulated and every recorded sample is
+checked against the paper's safety properties:
+
+* the fast and slow mode *conditions* never conflict (Lemma 5.3 / Lemma 5.2);
+* max estimates never exceed the true maximum (Condition 4.3, inequality (2));
+* the gradient bound of Corollary 5.26 holds on the always-present backbone;
+* logical clock rates stay inside ``[1 - rho, (1 + rho)(1 + mu)]``;
+* every node's neighbor levels form the subset chain of Lemma 5.1.
+
+The benchmark reports the number of violations for each property; all of them
+must be zero.
+"""
+
+import pytest
+
+from repro.analysis import gradient, report, skew
+from repro.core.algorithm import aopt_factory
+from repro.core.conditions import TrueNeighborState, conditions_conflict
+from repro.network import dynamics, topology
+from repro.sim.drift import RandomWalkDrift
+from repro.sim.runner import SimulationConfig, default_aopt_config, run_simulation
+
+from common import BENCH_EDGE, BENCH_PARAMS, FAST_INSERTION, emit
+
+N_NODES = 10
+
+
+def run_and_check():
+    base = topology.line(N_NODES, BENCH_EDGE)
+    graph = dynamics.periodic_churn(
+        base,
+        [(0, 4), (2, 7), (5, 9)],
+        period=25.0,
+        horizon=250.0,
+        params=BENCH_EDGE,
+        seed=13,
+    )
+    config = SimulationConfig(
+        params=BENCH_PARAMS,
+        dt=0.1,
+        duration=300.0,
+        sample_interval=1.0,
+        drift=RandomWalkDrift(BENCH_PARAMS.rho, graph.nodes, period=15.0, seed=5),
+        estimate_strategy="uniform",
+        estimate_seed=17,
+    )
+    aopt_config = default_aopt_config(graph, config, insertion_duration=FAST_INSERTION)
+    result = run_simulation(graph, aopt_factory(aopt_config), config)
+
+    kappa = BENCH_PARAMS.kappa_for(BENCH_EDGE.epsilon, BENCH_EDGE.tau)
+    delta = BENCH_PARAMS.delta_for(kappa, BENCH_EDGE.epsilon, BENCH_EDGE.tau)
+    backbone = [(i, i + 1) for i in range(N_NODES - 1)]
+
+    condition_conflicts = 0
+    max_estimate_violations = 0
+    rate_violations = 0
+    previous = None
+    for sample in result.trace:
+        max_estimate_violations += skew.max_estimate_violations(sample)
+        for node in range(N_NODES):
+            states = [
+                TrueNeighborState(
+                    neighbor=other,
+                    logical=sample.logical[other],
+                    kappa=kappa,
+                    tau=BENCH_EDGE.tau,
+                    level=aopt_config.max_level,
+                )
+                for other in range(N_NODES)
+                if (node, other) in [(u, v) for u, v in backbone]
+                or (other, node) in [(u, v) for u, v in backbone]
+            ]
+            if conditions_conflict(
+                sample.logical[node], states, BENCH_PARAMS, aopt_config.max_level, delta
+            ):
+                condition_conflicts += 1
+        if previous is not None:
+            dt = sample.time - previous.time
+            if dt > 0:
+                for node in range(N_NODES):
+                    rate = (sample.logical[node] - previous.logical[node]) / dt
+                    if rate < BENCH_PARAMS.alpha - 1e-6 or rate > BENCH_PARAMS.beta + 1e-6:
+                        rate_violations += 1
+        previous = sample
+
+    gradient_violations = len(
+        gradient.check_trace(
+            result.trace, base, aopt_config.global_skew.value(0.0), BENCH_PARAMS
+        )
+    )
+    broken_chains = sum(
+        0 if result.engine.algorithm(node).levels.subset_chain_holds() else 1
+        for node in result.engine.nodes
+    )
+    return {
+        "samples": len(result.trace),
+        "condition_conflicts": condition_conflicts,
+        "max_estimate_violations": max_estimate_violations,
+        "gradient_violations": gradient_violations,
+        "rate_violations": rate_violations,
+        "broken_chains": broken_chains,
+    }
+
+
+def test_e10_invariants(benchmark):
+    row = benchmark.pedantic(run_and_check, rounds=1, iterations=1)
+    table = report.Table(
+        f"E10: safety invariants over a randomized churn run ({row['samples']} samples)",
+        ["invariant", "violations"],
+    )
+    table.add_row("FC/SC conditions in conflict (Lemma 5.3)", row["condition_conflicts"])
+    table.add_row("max estimate above true maximum (Cond. 4.3)", row["max_estimate_violations"])
+    table.add_row("gradient bound on backbone (Cor. 5.26)", row["gradient_violations"])
+    table.add_row("logical rate outside [alpha, beta]", row["rate_violations"])
+    table.add_row("broken neighbor-level chains (Lemma 5.1)", row["broken_chains"])
+    emit(table, "e10_invariants.txt")
+
+    assert row["condition_conflicts"] == 0
+    assert row["max_estimate_violations"] == 0
+    assert row["gradient_violations"] == 0
+    assert row["rate_violations"] == 0
+    assert row["broken_chains"] == 0

@@ -1,0 +1,89 @@
+"""E1 -- Global skew: containment and Theta(D) convergence (Theorem 5.6).
+
+For lines of increasing length, AOPT starts from an adversarially pre-built
+ramp of roughly ``kappa`` skew per edge (total skew proportional to the
+diameter) and keeps fighting a two-group drift adversary.  The experiment
+verifies three facets of Theorem 5.6:
+
+* the global skew never exceeds the static bound ``G~`` the algorithm was
+  configured with (linear in the diameter);
+* the excessive initial skew is drained, so the final skew is far below the
+  initial one;
+* the time needed to halve the initial skew grows linearly with the diameter
+  (the drain rate is a constant ``mu(1-rho) - 2rho``, the amount is
+  ``Theta(D)``).
+"""
+
+import pytest
+
+from repro.analysis import report, skew, stabilization
+from repro.lower_bounds import analytic
+
+from common import (
+    BENCH_EDGE,
+    LINE_SIZES,
+    emit,
+    kappa_default,
+    line_scaling_run,
+)
+
+
+def collect_rows():
+    rows = []
+    for n in LINE_SIZES:
+        result, bound = line_scaling_run(n, "AOPT")
+        initial = result.trace.first().global_skew()
+        final = result.trace.final().global_skew()
+        halving_time = stabilization.global_skew_convergence_time(
+            result.trace, bound=initial / 2.0
+        )
+        lower = analytic.global_skew_lower_bound([BENCH_EDGE.epsilon] * (n - 1))
+        rows.append(
+            {
+                "n": n,
+                "lower": lower,
+                "initial": initial,
+                "max": result.trace.max_global_skew(),
+                "final": final,
+                "bound": bound,
+                "halving_time": halving_time if halving_time is not None else float("nan"),
+            }
+        )
+    return rows
+
+
+def test_e1_global_skew_vs_diameter(benchmark):
+    rows = benchmark.pedantic(collect_rows, rounds=1, iterations=1)
+    table = report.Table(
+        "E1: global skew on lines under adversarial drift (AOPT)",
+        [
+            "n",
+            "Omega(D) ref (sum eps/2)",
+            "initial skew",
+            "max skew",
+            "final skew",
+            "G~ bound",
+            "time to halve initial skew",
+        ],
+    )
+    for row in rows:
+        table.add_row(
+            row["n"],
+            row["lower"],
+            row["initial"],
+            row["max"],
+            row["final"],
+            row["bound"],
+            row["halving_time"],
+        )
+    emit(table, "e1_global_skew.txt")
+
+    # Containment: the skew never exceeds the configured bound.
+    assert all(row["max"] <= row["bound"] + 1e-6 for row in rows)
+    # Drainage: the excessive initial skew is reduced substantially.
+    assert all(row["final"] <= 0.5 * row["initial"] + kappa_default() for row in rows)
+    # Theta(D) convergence: the halving time grows with the line length.
+    times = [row["halving_time"] for row in rows]
+    assert all(t == t for t in times), "every run must reach half its initial skew"
+    assert times[-1] > 1.5 * times[0]
+    assert all(a <= b + 30.0 for a, b in zip(times, times[1:]))

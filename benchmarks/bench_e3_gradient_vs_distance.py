@@ -1,0 +1,48 @@
+"""E3 -- Gradient skew as a function of distance (Corollary 5.26).
+
+On the longest line of the E1/E2 sweep, the maximum skew observed between any
+two nodes is grouped by their weighted distance ``kappa_p`` and compared to
+the gradient bound ``(s(p) + 1) * kappa_p`` with
+``s(p) = 2 + ceil(log_sigma(4 G / kappa_p))`` -- the ``O(d log(D/d))`` curve of
+the paper.  The measured profile must stay below the bound at every distance,
+grow with the distance, and follow the concave ``d log(D/d)`` template
+(saturating towards the global skew instead of growing linearly forever).
+"""
+
+import pytest
+
+from repro.analysis import gradient, report
+
+from common import BENCH_PARAMS, LINE_SIZES, emit, line_scaling_run
+
+PROFILE_N = LINE_SIZES[-1]
+
+
+def collect_profile():
+    result, bound = line_scaling_run(PROFILE_N, "AOPT")
+    graph = result.engine.graph
+    points = gradient.profile(result.trace, graph, bound, BENCH_PARAMS)
+    score = gradient.logarithmic_shape_score(points)
+    return points, score, bound
+
+
+def test_e3_gradient_vs_distance(benchmark):
+    points, score, bound = benchmark.pedantic(collect_profile, rounds=1, iterations=1)
+    table = report.Table(
+        f"E3: max skew per weighted distance (AOPT, line of {PROFILE_N}, G~={bound:.1f})",
+        ["distance kappa_p", "max skew", "gradient bound", "utilisation"],
+    )
+    for point in points:
+        table.add_row(point.distance, point.max_skew, point.bound, point.ratio)
+    emit(table, "e3_gradient_vs_distance.txt")
+    print(f"shape correlation with d*log(D/d) template: {score:.3f}")
+
+    # The gradient bound holds at every distance.
+    assert all(p.max_skew <= p.bound + 1e-6 for p in points)
+    # Larger distances carry (weakly) more skew ...
+    skews = [p.max_skew for p in points]
+    assert all(a <= b + 1e-6 for a, b in zip(skews, skews[1:]))
+    # ... but sub-linearly: the per-unit-distance skew shrinks with distance,
+    # which is the signature of the d*log(D/d) shape.
+    assert points[-1].max_skew / points[-1].distance < points[0].max_skew / points[0].distance
+    assert score is not None and score > 0.5

@@ -1,0 +1,107 @@
+"""E4 -- Stabilization time of newly inserted edges is Theta(D)
+(Theorem 5.25, matching the lower bound of Theorem 8.1).
+
+A line pre-loaded with a ramp of skew proportional to its diameter gets a new
+edge between its endpoints.  For AOPT the time until the new edge's skew drops
+below (and stays below) ``2 * kappa`` is measured; it is dominated by the
+insertion schedule of length ``Theta(G~ / mu) = Theta(D)`` and therefore grows
+linearly with the line length.  The immediate-insertion variant (Section 5.5)
+and the max-propagation baseline are reported for contrast: max propagation
+"stabilizes" the new edge almost instantly, but only by dumping the whole
+end-to-end skew onto the old edges next to the endpoints.
+"""
+
+import pytest
+
+from repro.analysis import report, skew, stabilization
+
+from common import INSERTION_SIZES, emit, insertion_run, kappa_default
+
+ALGORITHMS = ("AOPT", "ImmediateInsertion", "MaxPropagation")
+
+
+def measure(n, algorithm):
+    result, meta = insertion_run(n, algorithm)
+    u, v = meta["new_edge"]
+    criterion = 2.0 * kappa_default()
+    measurement = stabilization.stabilization_time(
+        result.trace, u, v, bound=criterion, event_time=meta["insertion_time"]
+    )
+    old_edges = [(i, i + 1) for i in range(n - 1)]
+    return {
+        "stabilization": (
+            measurement.elapsed_since_event if measurement.stabilized else float("nan")
+        ),
+        "skew_at_insertion": result.trace.sample_at(meta["insertion_time"]).skew(u, v),
+        "old_edge_skew": skew.max_local_skew(
+            result.trace, old_edges, start=meta["insertion_time"]
+        ),
+        "insertion_span": meta["insertion_span"],
+    }
+
+
+def collect_rows():
+    rows = []
+    for n in INSERTION_SIZES:
+        row = {"n": n}
+        for algorithm in ALGORITHMS:
+            row[algorithm] = measure(n, algorithm)
+        rows.append(row)
+    return rows
+
+
+def test_e4_stabilization_time(benchmark):
+    rows = benchmark.pedantic(collect_rows, rounds=1, iterations=1)
+    table = report.Table(
+        "E4: time for a new end-to-end edge to reach skew <= 2*kappa",
+        [
+            "n",
+            "skew at insertion",
+            "AOPT stabilization",
+            "AOPT insertion span Theta(G/mu)",
+            "Immediate stabilization",
+            "MaxProp stabilization",
+            "AOPT old-edge skew",
+            "MaxProp old-edge skew",
+        ],
+    )
+    for row in rows:
+        table.add_row(
+            row["n"],
+            row["AOPT"]["skew_at_insertion"],
+            row["AOPT"]["stabilization"],
+            row["AOPT"]["insertion_span"],
+            row["ImmediateInsertion"]["stabilization"],
+            row["MaxPropagation"]["stabilization"],
+            row["AOPT"]["old_edge_skew"],
+            row["MaxPropagation"]["old_edge_skew"],
+        )
+    emit(table, "e4_stabilization_time.txt")
+
+    aopt_times = [row["AOPT"]["stabilization"] for row in rows]
+    # Every AOPT run stabilizes within the simulated horizon.
+    assert all(t == t for t in aopt_times)
+    # The stabilization time grows with the diameter (Theta(D) behaviour):
+    # the new edge carries Theta(D) skew when it appears, and AOPT only
+    # reduces skew at rate Theta(mu), never by jumping.
+    assert all(a < b for a, b in zip(aopt_times, aopt_times[1:]))
+    assert aopt_times[-1] > 1.5 * aopt_times[0]
+    # The skew at insertion indeed grows linearly with the diameter.
+    insertion_skews = [row["AOPT"]["skew_at_insertion"] for row in rows]
+    assert insertion_skews[-1] > 2.0 * insertion_skews[0]
+    # Max propagation (which may jump) resolves the new edge faster than AOPT;
+    # its worst-case price -- Theta(D) skew dumped on an old edge -- is
+    # exhibited separately in E2, where the jump happens while skew is present.
+    assert all(
+        row["MaxPropagation"]["stabilization"] <= row["AOPT"]["stabilization"]
+        for row in rows
+    )
+    # AOPT never exceeds its single-edge gradient bound on the old edges while
+    # the new edge is being inserted.
+    for row, n in zip(rows, INSERTION_SIZES):
+        _, meta = insertion_run(n, "AOPT")
+        from common import local_skew_bound
+
+        assert row["AOPT"]["old_edge_skew"] <= local_skew_bound(
+            meta["global_skew_bound"]
+        )

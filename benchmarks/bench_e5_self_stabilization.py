@@ -1,0 +1,77 @@
+"""E5 -- Self-stabilization of the global skew (Theorem 5.6(II)).
+
+Starting from clocks corrupted by a skew of roughly twice the algorithm's
+bound, the global skew must decrease at a rate of at least
+``mu (1 - rho) - 2 rho`` until it is back in the legitimate region, and it
+must eventually converge below the configured bound and stay there.
+"""
+
+import pytest
+
+from repro.analysis import report, stabilization
+from repro.core.algorithm import aopt_factory
+from repro.network import topology
+from repro.sim.drift import TwoGroupAdversary, half_split
+from repro.sim.runner import SimulationConfig, default_aopt_config, run_simulation
+
+from common import BENCH_EDGE, BENCH_PARAMS, FAST_INSERTION, emit, global_skew_bound_for_line
+
+N_NODES = 16
+
+
+def run_corrupted():
+    graph = topology.line(N_NODES, BENCH_EDGE)
+    bound = global_skew_bound_for_line(N_NODES)
+    corrupted_skew = 2.0 * bound
+    initial = {
+        i: corrupted_skew * i / (N_NODES - 1) for i in range(N_NODES)
+    }
+    fast, slow = half_split(graph.nodes)
+    duration = 60.0 + corrupted_skew / (0.5 * BENCH_PARAMS.self_stabilization_rate)
+    config = SimulationConfig(
+        params=BENCH_PARAMS,
+        dt=0.1,
+        duration=duration,
+        sample_interval=1.0,
+        drift=TwoGroupAdversary(BENCH_PARAMS.rho, fast, slow),
+        estimate_strategy="toward_observer",
+        initial_logical=initial,
+    )
+    aopt_config = default_aopt_config(
+        graph, config, global_skew_bound=corrupted_skew * 1.1, insertion_duration=FAST_INSERTION
+    )
+    result = run_simulation(graph, aopt_factory(aopt_config), config)
+    decay_window = 0.5 * corrupted_skew / BENCH_PARAMS.self_stabilization_rate
+    measured_rate = stabilization.decrease_rate(result.trace, start=0.0, end=decay_window)
+    convergence = stabilization.global_skew_convergence_time(result.trace, bound=bound)
+    return {
+        "corrupted_skew": corrupted_skew,
+        "bound": bound,
+        "guaranteed_rate": BENCH_PARAMS.self_stabilization_rate,
+        "measured_rate": measured_rate,
+        "convergence_time": convergence if convergence is not None else float("nan"),
+        "final_skew": result.trace.final().global_skew(),
+    }
+
+
+def test_e5_self_stabilization(benchmark):
+    row = benchmark.pedantic(run_corrupted, rounds=1, iterations=1)
+    table = report.Table(
+        f"E5: recovery from a corrupted state (line of {N_NODES} nodes)",
+        ["metric", "value"],
+    )
+    table.add_row("initial (corrupted) global skew", row["corrupted_skew"])
+    table.add_row("legitimate bound G~", row["bound"])
+    table.add_row("guaranteed decrease rate mu(1-rho)-2rho", row["guaranteed_rate"])
+    table.add_row("measured decrease rate", row["measured_rate"])
+    table.add_row("time to re-enter the legitimate region", row["convergence_time"])
+    table.add_row("final global skew", row["final_skew"])
+    emit(table, "e5_self_stabilization.txt")
+
+    assert row["measured_rate"] is not None
+    # The measured drain rate is at least (a conservative fraction of) the
+    # guaranteed one; drift works against the drain, hence the 0.8 factor.
+    assert row["measured_rate"] >= 0.8 * row["guaranteed_rate"]
+    # The system re-enters the legitimate region and stays there.
+    assert row["convergence_time"] == row["convergence_time"]
+    assert row["final_skew"] <= row["bound"]

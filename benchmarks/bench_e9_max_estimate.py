@@ -1,0 +1,72 @@
+"""E9 -- Quality of the flooded max estimates (Condition 4.3).
+
+Every node's estimate ``M_u`` of the maximum logical clock must satisfy
+``L_u <= M_u <= max_v L_v`` and ``M_u >= max_v L_v - D(t)`` where ``D(t)`` is
+the dynamic estimate diameter.  The experiment runs AOPT with message-based
+estimates and the diameter tracker enabled and reports the worst estimate lag
+against the tracked diameter.
+"""
+
+import pytest
+
+from repro.analysis import report, skew
+from repro.core.algorithm import aopt_factory
+from repro.network import topology
+from repro.sim.drift import TwoGroupAdversary, half_split
+from repro.sim.runner import SimulationConfig, default_aopt_config, run_simulation
+
+from common import BENCH_EDGE, BENCH_PARAMS, FAST_INSERTION, emit
+
+N_NODES = 12
+
+
+def run_tracked():
+    graph = topology.line(N_NODES, BENCH_EDGE)
+    fast, slow = half_split(graph.nodes)
+    config = SimulationConfig(
+        params=BENCH_PARAMS,
+        dt=0.1,
+        duration=200.0,
+        sample_interval=1.0,
+        drift=TwoGroupAdversary(BENCH_PARAMS.rho, fast, slow),
+        estimate_mode="broadcast",
+        broadcast_interval=1.0,
+        track_diameter=True,
+    )
+    aopt_config = default_aopt_config(graph, config, insertion_duration=FAST_INSERTION)
+    result = run_simulation(graph, aopt_factory(aopt_config), config)
+    steady_start = skew.steady_state_window(result.trace, 0.5)[0]
+    worst_lag = 0.0
+    worst_diameter = 0.0
+    violations = 0
+    for sample in result.trace:
+        violations += skew.max_estimate_violations(sample)
+        if sample.time < steady_start or sample.diameter is None:
+            continue
+        worst_lag = max(worst_lag, skew.max_estimate_lag(sample))
+        worst_diameter = max(worst_diameter, sample.diameter)
+    return {
+        "worst_lag": worst_lag,
+        "worst_diameter": worst_diameter,
+        "upper_violations": violations,
+        "final_diameter": result.trace.final().diameter,
+    }
+
+
+def test_e9_max_estimate_quality(benchmark):
+    row = benchmark.pedantic(run_tracked, rounds=1, iterations=1)
+    table = report.Table(
+        f"E9: max-estimate accuracy on a line of {N_NODES} nodes (broadcast estimates)",
+        ["metric", "value"],
+    )
+    table.add_row("worst lag  max_v L_v - M_u (steady state)", row["worst_lag"])
+    table.add_row("dynamic estimate diameter D(t) (worst, steady state)", row["worst_diameter"])
+    table.add_row("samples where M_u exceeded the true maximum", row["upper_violations"])
+    table.add_row("final tracked diameter", row["final_diameter"])
+    emit(table, "e9_max_estimate.txt")
+
+    # M_u never exceeds the true maximum (inequality (2)) ...
+    assert row["upper_violations"] == 0
+    # ... and lags it by at most the dynamic estimate diameter (inequality (3)).
+    assert row["worst_lag"] <= row["worst_diameter"] + 1e-6
+    assert row["worst_diameter"] > 0

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Edge insertion: gradual stabilization versus immediate insertion.
+
+A line network accumulates skew between its endpoints; then an edge between
+the endpoints appears.  The paper's algorithm inserts the new edge level by
+level, so the skew on it is reduced gradually without ever violating the
+gradient bound on the old edges.  The "immediate insertion" strategy
+(discussed in Section 5.5) instead charges the new edge against every level at
+once; its surrounding edges then see larger transient skews.
+
+The example prints the skew on the new edge at a few checkpoints and the worst
+local skew observed on the pre-existing edges after the insertion for both
+strategies.
+"""
+
+from repro.analysis import report, skew, stabilization
+from repro.baselines.immediate_insertion import immediate_insertion_factory
+from repro.core.algorithm import aopt_factory
+from repro.core import insertion as insertion_mod
+from repro.core.parameters import Parameters
+from repro.network import dynamics
+from repro.network.edge import EdgeParams
+from repro.sim.drift import TwoGroupAdversary, half_split
+from repro.sim.runner import SimulationConfig, default_aopt_config, run_simulation
+
+N_NODES = 8
+INSERTION_TIME = 40.0
+DURATION = 700.0
+GLOBAL_SKEW_BOUND = 40.0
+
+
+def run_strategy(immediate: bool):
+    params = Parameters(rho=0.01, mu=0.1)
+    edge = EdgeParams(epsilon=1.0, tau=0.5, delay=2.0)
+    scenario = dynamics.line_with_end_to_end_insertion(
+        N_NODES, insertion_time=INSERTION_TIME, params=edge
+    )
+    fast_nodes, slow_nodes = half_split(scenario.graph.nodes)
+    config = SimulationConfig(
+        params=params,
+        dt=0.05,
+        duration=DURATION,
+        drift=TwoGroupAdversary(params.rho, fast_nodes, slow_nodes),
+        estimate_strategy="toward_observer",
+    )
+    aopt_config = default_aopt_config(
+        scenario.graph,
+        config,
+        global_skew_bound=GLOBAL_SKEW_BOUND,
+        insertion_duration=insertion_mod.scaled_insertion_duration(0.02),
+        immediate_insertion=immediate,
+    )
+    factory = (
+        immediate_insertion_factory(aopt_config)
+        if immediate
+        else aopt_factory(aopt_config)
+    )
+    result = run_simulation(scenario.graph, factory, config)
+    u, v = scenario.new_edge
+    kappa = params.kappa_for(edge.epsilon, edge.tau)
+    bound = params.local_skew_bound(kappa, GLOBAL_SKEW_BOUND)
+    measurement = stabilization.stabilization_time(
+        result.trace, u, v, bound=bound, event_time=INSERTION_TIME
+    )
+    old_edges = [(i, i + 1) for i in range(N_NODES - 1)]
+    return {
+        "strategy": "immediate insertion" if immediate else "AOPT (staged insertion)",
+        "bound": bound,
+        "skew_at_insertion": result.trace.sample_at(INSERTION_TIME).skew(u, v),
+        "stabilization_time": (
+            measurement.elapsed_since_event if measurement.stabilized else float("nan")
+        ),
+        "old_edge_local_skew": skew.max_local_skew(
+            result.trace, old_edges, start=INSERTION_TIME
+        ),
+        "final_new_edge_skew": result.trace.final().skew(u, v),
+    }
+
+
+def main() -> None:
+    rows = [run_strategy(immediate=False), run_strategy(immediate=True)]
+    table = report.Table(
+        f"New end-to-end edge on a line of {N_NODES} nodes (insertion at t={INSERTION_TIME:.0f})",
+        [
+            "strategy",
+            "skew at insertion",
+            "time to reach gradient bound",
+            "old-edge local skew after insertion",
+            "final new-edge skew",
+        ],
+    )
+    for row in rows:
+        table.add_row(
+            row["strategy"],
+            row["skew_at_insertion"],
+            row["stabilization_time"],
+            row["old_edge_local_skew"],
+            row["final_new_edge_skew"],
+        )
+    table.print()
+    print(
+        "The gradient bound used for the new edge is "
+        f"{rows[0]['bound']:.3f} time units; AOPT reaches it within time "
+        "proportional to the global skew estimate (Theorem 5.25)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Mobile / dynamic network scenario: synchronization under continuous churn.
+
+A convoy of mobile nodes drives along a road: every node always hears its
+immediate predecessor and successor (the backbone of the line stays up), but
+the longer-range links come and go as relative positions change.  This is the
+kind of dynamic estimate graph the paper's model targets: edges appear and
+disappear arbitrarily while the network stays connected.
+
+The example runs AOPT on such a "sliding window" line plus random churn on a
+few shortcut links and verifies that the global skew stays bounded and that
+every node's neighbor levels respect the Lemma 5.1 subset chain at the end of
+the run.
+"""
+
+from repro.analysis import report, skew
+from repro.core.algorithm import aopt_factory
+from repro.core import insertion as insertion_mod
+from repro.core.parameters import Parameters
+from repro.network import dynamics, topology
+from repro.network.edge import EdgeParams
+from repro.sim.drift import RandomWalkDrift
+from repro.sim.runner import SimulationConfig, default_aopt_config, run_simulation
+
+N_NODES = 10
+DURATION = 300.0
+
+
+def main() -> None:
+    params = Parameters(rho=0.01, mu=0.1)
+    edge = EdgeParams(epsilon=1.0, tau=0.5, delay=2.0)
+
+    # Mobility: always-on backbone, rotating shortcuts, plus random churn on
+    # a few extra candidate links.
+    graph = dynamics.sliding_window_line(
+        N_NODES, window=3, shift_period=25.0, horizon=DURATION, params=edge
+    )
+    graph = dynamics.periodic_churn(
+        graph,
+        [(0, 5), (2, 8), (4, 9)],
+        period=40.0,
+        horizon=DURATION,
+        params=edge,
+        seed=7,
+    )
+
+    config = SimulationConfig(
+        params=params,
+        dt=0.05,
+        duration=DURATION,
+        drift=RandomWalkDrift(params.rho, graph.nodes, period=20.0, seed=11),
+        estimate_strategy="uniform",
+        estimate_seed=3,
+    )
+    aopt_config = default_aopt_config(
+        graph,
+        config,
+        insertion_duration=insertion_mod.scaled_insertion_duration(0.02),
+    )
+    result = run_simulation(graph, aopt_factory(aopt_config), config)
+
+    backbone = [(i, i + 1) for i in range(N_NODES - 1)]
+    table = report.Table(
+        f"Mobile convoy of {N_NODES} nodes under churn ({DURATION:.0f} time units)",
+        ["metric", "value"],
+    )
+    table.add_row("global skew bound used by AOPT", aopt_config.global_skew.value(0.0))
+    table.add_row("max global skew observed", result.trace.max_global_skew())
+    table.add_row("final global skew", result.trace.final().global_skew())
+    table.add_row("max backbone local skew", skew.max_local_skew(result.trace, backbone))
+    table.add_row("messages delivered", result.engine.transport.delivered_count)
+    table.print()
+
+    chains_ok = all(
+        result.engine.algorithm(node).levels.subset_chain_holds()
+        for node in result.engine.nodes
+    )
+    print(f"Lemma 5.1 subset chains intact on every node: {chains_ok}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Sensor-network TDMA scenario: why the *local* skew is the quantity that matters.
+
+The introduction of the paper motivates gradient clock synchronization with
+TDMA in wireless sensor networks: two nodes only interfere when they are
+close, so the guard interval between their slots must cover the skew between
+*neighboring* clocks, not the network-wide skew.
+
+This example places sensors on a grid, drives their hardware clocks with an
+adversarial drift ramp, and compares AOPT with the max-propagation baseline:
+both keep the global skew bounded, but the baseline concentrates large jumps
+on single edges, while AOPT keeps every edge within the gradient bound -- so a
+TDMA schedule needs a much smaller guard interval.
+"""
+
+from repro.analysis import report, skew
+from repro.baselines.max_algorithm import max_propagation_factory
+from repro.core.algorithm import aopt_factory
+from repro.core.parameters import Parameters
+from repro.network import topology
+from repro.network.edge import EdgeParams
+from repro.sim.drift import RampAdversary
+from repro.sim.runner import SimulationConfig, default_aopt_config, run_simulation
+
+GRID_ROWS, GRID_COLS = 4, 4
+DURATION = 250.0
+
+
+def run_grid(algorithm_name: str):
+    params = Parameters(rho=0.01, mu=0.1)
+    edge = EdgeParams(epsilon=0.5, tau=0.25, delay=1.0)
+    graph = topology.grid(GRID_ROWS, GRID_COLS, edge)
+    config = SimulationConfig(
+        params=params,
+        dt=0.05,
+        duration=DURATION,
+        drift=RampAdversary(params.rho, graph.nodes, reverse_period=DURATION / 2),
+        estimate_strategy="toward_observer",
+    )
+    if algorithm_name == "AOPT":
+        aopt_config = default_aopt_config(graph, config)
+        factory = aopt_factory(aopt_config)
+    else:
+        factory = max_propagation_factory(params.rho)
+    result = run_simulation(graph, factory, config)
+    edges = skew.edges_of(graph)
+    return {
+        "algorithm": algorithm_name,
+        "global": result.trace.max_global_skew(),
+        "local": skew.max_local_skew(result.trace, edges),
+        "steady_local": skew.max_local_skew(
+            result.trace, edges, start=skew.steady_state_window(result.trace)[0]
+        ),
+    }
+
+
+def main() -> None:
+    rows = [run_grid("AOPT"), run_grid("MaxPropagation")]
+    table = report.Table(
+        f"TDMA guard intervals on a {GRID_ROWS}x{GRID_COLS} sensor grid",
+        ["algorithm", "max global skew", "max local skew", "steady local skew"],
+    )
+    for row in rows:
+        table.add_row(row["algorithm"], row["global"], row["local"], row["steady_local"])
+    table.print()
+    aopt_local = rows[0]["local"]
+    print(
+        "A TDMA schedule only needs guard intervals covering the local skew: "
+        f"{aopt_local:.3f} time units with AOPT on this grid."
+    )
+
+
+if __name__ == "__main__":
+    main()

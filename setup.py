@@ -1,0 +1,21 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file only enables legacy
+editable installs (`pip install -e .`) on systems where PEP 660 editable
+wheels cannot be built offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Optimal Gradient Clock Synchronization in Dynamic "
+        "Networks' (Kuhn, Lenzen, Locher, Oshman, PODC 2010)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

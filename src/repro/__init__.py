@@ -1,0 +1,57 @@
+"""Reproduction of "Optimal Gradient Clock Synchronization in Dynamic Networks".
+
+The package is organised by subsystem:
+
+* :mod:`repro.core` -- the AOPT algorithm and its building blocks
+  (parameters, clocks, triggers, neighbor levels, edge insertion, max
+  estimates);
+* :mod:`repro.network` -- the dynamic estimate graph, topology generators and
+  diameter bookkeeping;
+* :mod:`repro.estimate` -- the estimate layer abstraction, the bounded-delay
+  transport and the message types;
+* :mod:`repro.sim` -- the fixed-step simulation engine, drift and delay
+  adversaries, trace recording and the high-level runner;
+* :mod:`repro.baselines` -- comparison algorithms (max propagation, single
+  level threshold rule, immediate insertion, no synchronization);
+* :mod:`repro.analysis` -- skew, gradient, legality and stabilization
+  measurements plus report formatting;
+* :mod:`repro.lower_bounds` -- analytic bounds and the adversarial scenarios
+  that exhibit them.
+"""
+
+from .core.algorithm import AOPT, AOPTConfig, aopt_factory
+from .core.interfaces import ClockSyncAlgorithm, ControlDecision
+from .core.parameters import DEFAULT_PARAMETERS, ParameterError, Parameters
+from .core.skew_estimates import StaticGlobalSkewEstimate, suggest_global_skew_bound
+from .network.dynamic_graph import DynamicGraph
+from .network.edge import EdgeParams
+from .sim.runner import (
+    SimulationConfig,
+    SimulationResult,
+    default_aopt_config,
+    run_aopt,
+    run_simulation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AOPT",
+    "AOPTConfig",
+    "aopt_factory",
+    "ClockSyncAlgorithm",
+    "ControlDecision",
+    "DEFAULT_PARAMETERS",
+    "ParameterError",
+    "Parameters",
+    "StaticGlobalSkewEstimate",
+    "suggest_global_skew_bound",
+    "DynamicGraph",
+    "EdgeParams",
+    "SimulationConfig",
+    "SimulationResult",
+    "default_aopt_config",
+    "run_aopt",
+    "run_simulation",
+    "__version__",
+]

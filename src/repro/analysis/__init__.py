@@ -1,0 +1,5 @@
+"""Skew, gradient, legality and stabilization analyses over traces."""
+
+from . import gradient, legality, live_legality, report, skew, stabilization
+
+__all__ = ["gradient", "legality", "live_legality", "report", "skew", "stabilization"]

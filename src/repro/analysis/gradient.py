@@ -1,0 +1,183 @@
+"""Gradient skew profiles and bound checking.
+
+The stable gradient property (Corollary 5.26 / Corollary 7.10) states that two
+nodes connected by a fully inserted path of weight ``kappa_p`` have skew at
+most ``(s(p) + 1) * kappa_p`` with
+``s(p) = max(2 + ceil(log_sigma(4 G / kappa_p)), 1)`` -- i.e. the familiar
+``O(d log(D / d))`` shape.  These helpers compare measured skews against that
+bound, both per node pair and aggregated per distance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.parameters import Parameters
+from ..network.dynamic_graph import DynamicGraph
+from ..network.edge import NodeId
+from ..network import paths
+from ..sim.trace import Trace, TraceSample
+
+
+@dataclass(frozen=True)
+class GradientViolation:
+    """A node pair whose measured skew exceeds the gradient bound."""
+
+    time: float
+    u: NodeId
+    v: NodeId
+    distance: float
+    skew: float
+    bound: float
+
+    @property
+    def excess(self) -> float:
+        return self.skew - self.bound
+
+
+@dataclass(frozen=True)
+class GradientPoint:
+    """One point of a distance-vs-skew profile."""
+
+    distance: float
+    max_skew: float
+    bound: float
+
+    @property
+    def ratio(self) -> float:
+        return self.max_skew / self.bound if self.bound > 0.0 else math.inf
+
+
+def gradient_bound(
+    distance: float, global_skew_bound: float, params: Parameters
+) -> float:
+    """The gradient skew bound for a path of weight ``distance``."""
+    return params.gradient_skew_bound(distance, global_skew_bound)
+
+
+def check_sample(
+    sample: TraceSample,
+    distances: Dict[Tuple[NodeId, NodeId], float],
+    global_skew_bound: float,
+    params: Parameters,
+    *,
+    tolerance: float = 1e-9,
+) -> List[GradientViolation]:
+    """All gradient bound violations in one sample."""
+    violations: List[GradientViolation] = []
+    for (u, v), distance in distances.items():
+        if u >= v or distance <= 0.0:
+            continue
+        skew = abs(sample.logical[u] - sample.logical[v])
+        bound = gradient_bound(distance, global_skew_bound, params)
+        if skew > bound + tolerance:
+            violations.append(
+                GradientViolation(sample.time, u, v, distance, skew, bound)
+            )
+    return violations
+
+
+def check_trace(
+    trace: Trace,
+    graph: DynamicGraph,
+    global_skew_bound: float,
+    params: Parameters,
+    *,
+    weight=None,
+    start: float = 0.0,
+) -> List[GradientViolation]:
+    """All gradient bound violations over a trace (from ``start`` onwards).
+
+    ``weight`` defaults to the algorithm weight ``kappa_e`` derived from the
+    edge parameters, which is the weight the bound is stated for.
+    """
+    if weight is None:
+        weight = paths.kappa_weight(graph, params)
+    distances = paths.all_pairs_distances(graph, weight)
+    violations: List[GradientViolation] = []
+    for sample in trace:
+        if sample.time >= start:
+            violations.extend(
+                check_sample(sample, distances, global_skew_bound, params)
+            )
+    return violations
+
+
+def profile(
+    trace: Trace,
+    graph: DynamicGraph,
+    global_skew_bound: float,
+    params: Parameters,
+    *,
+    weight=None,
+    start: float = 0.0,
+) -> List[GradientPoint]:
+    """Distance-vs-max-skew profile with the corresponding bounds.
+
+    The result is sorted by distance and is the measured counterpart of the
+    ``O(d log(D/d))`` curve of the paper.
+    """
+    if weight is None:
+        weight = paths.kappa_weight(graph, params)
+    distances = paths.all_pairs_distances(graph, weight)
+    per_distance: Dict[float, float] = {
+        round(distance, 9): 0.0
+        for (u, v), distance in distances.items()
+        if u < v and distance > 0.0
+    }
+    for sample in trace:
+        if sample.time < start:
+            continue
+        for (u, v), distance in distances.items():
+            if u >= v or distance <= 0.0:
+                continue
+            skew = abs(sample.logical[u] - sample.logical[v])
+            key = round(distance, 9)
+            if skew > per_distance[key]:
+                per_distance[key] = skew
+    return [
+        GradientPoint(
+            distance=d,
+            max_skew=s,
+            bound=gradient_bound(d, global_skew_bound, params),
+        )
+        for d, s in sorted(per_distance.items())
+    ]
+
+
+def local_skew_prediction(
+    kappa: float, global_skew_bound: float, params: Parameters
+) -> float:
+    """Predicted stable local skew for an edge of weight ``kappa``."""
+    return params.local_skew_bound(kappa, global_skew_bound)
+
+
+def logarithmic_shape_score(points: Iterable[GradientPoint]) -> Optional[float]:
+    """Crude shape check: correlation of max skew with ``d * log(D/d)``.
+
+    Returns the Pearson correlation between the measured per-distance skews
+    and the ``d * (log(D/d) + 1)`` template, or ``None`` when there are fewer
+    than three points.  A value close to 1 means the measured profile follows
+    the predicted concave shape.
+    """
+    data = [(p.distance, p.max_skew) for p in points if p.distance > 0.0]
+    if len(data) < 3:
+        return None
+    diameter = max(d for d, _ in data)
+    template = [d * (math.log(diameter / d) + 1.0) for d, _ in data]
+    measured = [s for _, s in data]
+    return _pearson(template, measured)
+
+
+def _pearson(xs: List[float], ys: List[float]) -> Optional[float]:
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0.0 or var_y == 0.0:
+        return None
+    return cov / math.sqrt(var_x * var_y)

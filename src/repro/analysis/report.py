@@ -1,0 +1,87 @@
+"""Plain-text tables and series for benchmark output.
+
+Since the paper has no numeric tables of its own, the benchmark harness
+reports its measurements as aligned text tables (one per experiment), which
+EXPERIMENTS.md then summarizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 3) -> str:
+    """Render one table cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+    precision: int = 3
+
+    def add_row(self, *values: Cell) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells but the table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> List[Cell]:
+        """Values of one column by header name."""
+        try:
+            index = list(self.headers).index(name)
+        except ValueError:
+            raise ValueError(f"no column named {name!r}") from None
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        cells = [[format_cell(c, self.precision) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print("\n" + self.render() + "\n")
+
+
+def format_series(
+    title: str, points: Iterable[Sequence[Cell]], headers: Sequence[str], precision: int = 3
+) -> str:
+    """Render a series of points as a small table."""
+    table = Table(title, headers, precision=precision)
+    for point in points:
+        table.add_row(*point)
+    return table.render()
+
+
+def ratio_summary(values: Sequence[float], references: Sequence[float]) -> Optional[float]:
+    """Average ratio between measured values and reference values."""
+    pairs = [
+        (v, r) for v, r in zip(values, references) if r not in (0, 0.0) and r == r
+    ]
+    if not pairs:
+        return None
+    return sum(v / r for v, r in pairs) / len(pairs)

@@ -1,0 +1,17 @@
+"""Baseline clock synchronization algorithms used for comparison."""
+
+from .hardware_only import HardwareOnly, hardware_only_factory
+from .immediate_insertion import ImmediateInsertionGradient, immediate_insertion_factory
+from .max_algorithm import MaxPropagation, max_propagation_factory
+from .threshold_gradient import ThresholdGradient, threshold_gradient_factory
+
+__all__ = [
+    "HardwareOnly",
+    "hardware_only_factory",
+    "ImmediateInsertionGradient",
+    "immediate_insertion_factory",
+    "MaxPropagation",
+    "max_propagation_factory",
+    "ThresholdGradient",
+    "threshold_gradient_factory",
+]

@@ -1,0 +1,29 @@
+"""No-synchronization baseline: the logical clock is the hardware clock."""
+
+from __future__ import annotations
+
+from ..core.interfaces import ClockSyncAlgorithm, ControlDecision
+from ..network.edge import NodeId
+
+
+class HardwareOnly(ClockSyncAlgorithm):
+    """Logical clock runs at hardware rate; no communication at all.
+
+    Used as a reference: its global and local skews grow linearly in time at
+    rate up to ``2 * rho``, so any synchronization algorithm worth its name
+    must beat it on long runs.
+    """
+
+    name = "HardwareOnly"
+
+    def control(self, t: float) -> ControlDecision:
+        return ControlDecision(multiplier=1.0)
+
+
+def hardware_only_factory():
+    """Algorithm factory for :class:`HardwareOnly`."""
+
+    def factory(_node_id: NodeId) -> HardwareOnly:
+        return HardwareOnly()
+
+    return factory

@@ -1,0 +1,42 @@
+"""The "insert on all levels immediately" strategy (Section 5.5 comparison).
+
+This baseline is AOPT with the staged insertion disabled: a newly discovered
+edge is treated as fully inserted right away, without the handshake of
+Listing 1 or the level-by-level schedule of Listing 2.  On static graphs it
+behaves exactly like AOPT; after an edge insertion it may transiently violate
+the gradient property on the surrounding edges because the new edge's skew is
+immediately charged against every level, which is what experiment E4
+measures.
+"""
+
+from __future__ import annotations
+
+from ..core.algorithm import AOPT, AOPTConfig
+from ..network.edge import NodeId
+
+
+class ImmediateInsertionGradient(AOPT):
+    """AOPT variant that skips the staged edge insertion."""
+
+    name = "ImmediateInsertion"
+
+    def __init__(self, config: AOPTConfig):
+        if not config.immediate_insertion:
+            config = AOPTConfig(
+                params=config.params,
+                global_skew=config.global_skew,
+                max_level=config.max_level,
+                broadcast_interval=config.broadcast_interval,
+                insertion_duration=config.insertion_duration,
+                immediate_insertion=True,
+            )
+        super().__init__(config)
+
+
+def immediate_insertion_factory(config: AOPTConfig):
+    """Algorithm factory for :class:`ImmediateInsertionGradient`."""
+
+    def factory(_node_id: NodeId) -> ImmediateInsertionGradient:
+        return ImmediateInsertionGradient(config)
+
+    return factory

@@ -1,0 +1,92 @@
+"""Max-propagation baseline (Srikanth–Toueg style).
+
+Every node runs its logical clock at hardware rate and, whenever it learns of
+a larger clock value in the network (through the flooded max estimate), jumps
+its logical clock up to that value.  This achieves an asymptotically optimal
+``O(D)`` global skew, but the local skew is also ``Theta(D)`` in the worst
+case: a node adjacent to fresh information jumps by up to the global skew
+while its other neighbors do not, which is exactly the weakness gradient clock
+synchronization addresses (Section 1 and Section 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.interfaces import ClockSyncAlgorithm, ControlDecision
+from ..core.max_estimate import MaxEstimateTracker
+from ..estimate.messages import ClockBroadcast, InsertEdgeMessage
+from ..network.edge import NodeId
+
+
+class MaxPropagation(ClockSyncAlgorithm):
+    """Jump-to-max clock synchronization."""
+
+    name = "MaxPropagation"
+
+    def __init__(self, rho: float, *, broadcast_interval: float = 1.0):
+        super().__init__()
+        if broadcast_interval <= 0.0:
+            raise ValueError("broadcast_interval must be positive")
+        self.rho = float(rho)
+        self.broadcast_interval = float(broadcast_interval)
+        self.max_tracker = MaxEstimateTracker(rho)
+        self._neighbors = set()
+        self._next_broadcast_hardware = 0.0
+        self._mode = "slow"
+
+    # ------------------------------------------------------------------
+    def on_start(self, t: float, initial_neighbors: Iterable[NodeId]) -> None:
+        self._neighbors = set(initial_neighbors)
+
+    def on_edge_discovered(self, t: float, neighbor: NodeId) -> None:
+        self._neighbors.add(neighbor)
+
+    def on_edge_lost(self, t: float, neighbor: NodeId) -> None:
+        self._neighbors.discard(neighbor)
+
+    def on_message(self, t: float, sender: NodeId, payload: object) -> None:
+        if isinstance(payload, (ClockBroadcast, InsertEdgeMessage)):
+            self.max_tracker.observe_remote(payload.max_estimate)
+
+    # ------------------------------------------------------------------
+    def control(self, t: float) -> ControlDecision:
+        logical = self.api.logical()
+        hardware = self.api.hardware()
+        self.max_tracker.advance(hardware, logical)
+        self._maybe_broadcast(hardware, logical)
+        target = self.max_tracker.value
+        if target > logical + 1e-12:
+            self._mode = "fast"
+            return ControlDecision(multiplier=1.0, jump_to=target)
+        self._mode = "slow"
+        return ControlDecision(multiplier=1.0)
+
+    def _maybe_broadcast(self, hardware: float, logical: float) -> None:
+        if hardware + 1e-12 < self._next_broadcast_hardware:
+            return
+        self._next_broadcast_hardware = hardware + self.broadcast_interval
+        payload = ClockBroadcast(
+            sender=self.api.node_id,
+            logical=logical,
+            max_estimate=self.max_tracker.value,
+            hardware=hardware,
+        )
+        for neighbor in self._neighbors:
+            self.api.send(neighbor, payload)
+
+    # ------------------------------------------------------------------
+    def mode(self) -> str:
+        return self._mode
+
+    def max_estimate(self) -> float:
+        return self.max_tracker.value
+
+
+def max_propagation_factory(rho: float, *, broadcast_interval: float = 1.0):
+    """Algorithm factory for :class:`MaxPropagation`."""
+
+    def factory(_node_id: NodeId) -> MaxPropagation:
+        return MaxPropagation(rho, broadcast_interval=broadcast_interval)
+
+    return factory

@@ -1,0 +1,37 @@
+"""Core algorithm: AOPT and its building blocks."""
+
+from .algorithm import AOPT, AOPTConfig, aopt_factory
+from .clocks import ClockError, HardwareClock, LogicalClock
+from .interfaces import AlgorithmFactory, ClockSyncAlgorithm, ControlDecision, NodeAPI
+from .max_estimate import MaxEstimateTracker
+from .neighbor_sets import FULLY_INSERTED, NeighborLevels
+from .parameters import DEFAULT_PARAMETERS, ParameterError, Parameters
+from .skew_estimates import (
+    DynamicGlobalSkewEstimate,
+    GlobalSkewEstimate,
+    StaticGlobalSkewEstimate,
+    suggest_global_skew_bound,
+)
+
+__all__ = [
+    "AOPT",
+    "AOPTConfig",
+    "aopt_factory",
+    "ClockError",
+    "HardwareClock",
+    "LogicalClock",
+    "AlgorithmFactory",
+    "ClockSyncAlgorithm",
+    "ControlDecision",
+    "NodeAPI",
+    "MaxEstimateTracker",
+    "FULLY_INSERTED",
+    "NeighborLevels",
+    "DEFAULT_PARAMETERS",
+    "ParameterError",
+    "Parameters",
+    "DynamicGlobalSkewEstimate",
+    "GlobalSkewEstimate",
+    "StaticGlobalSkewEstimate",
+    "suggest_global_skew_bound",
+]

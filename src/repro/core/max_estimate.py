@@ -1,0 +1,77 @@
+"""Maintenance of the max estimate ``M_u`` (Condition 4.3).
+
+Every node keeps an estimate of the largest logical clock in the network.
+The update rules are exactly those of Section 4.2:
+
+* while ``M_u = L_u`` the estimate follows the node's own logical clock;
+* while ``M_u > L_u`` it grows at rate ``(1 - rho) / (1 + rho)`` times the
+  node's hardware clock rate, which is guaranteed not to overtake the true
+  maximum (whose rate is at least ``1 - rho``);
+* on reception of a message carrying a neighbor's max estimate the local
+  value is raised to the received one (the received value was a valid lower
+  bound on the maximum when it was sent, and the maximum only increases).
+
+Together these rules imply Condition 4.3:
+``L_u(t) <= M_u(t) <= max_v L_v(t)`` and
+``M_u(t) >= max_v L_v(t) - D(t)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class MaxEstimateTracker:
+    """Tracks ``M_u`` for one node."""
+
+    def __init__(self, rho: float, initial_value: float = 0.0):
+        if not 0.0 <= rho < 1.0:
+            raise ValueError(f"rho must lie in [0, 1), got {rho}")
+        if initial_value < 0.0:
+            raise ValueError("the max estimate is non-negative")
+        self.rho = float(rho)
+        self._value = float(initial_value)
+        self._last_hardware: Optional[float] = None
+
+    @property
+    def value(self) -> float:
+        """Current max estimate ``M_u``."""
+        return self._value
+
+    @property
+    def conservative_rate_factor(self) -> float:
+        """Growth factor applied to hardware progress while ``M_u > L_u``."""
+        return (1.0 - self.rho) / (1.0 + self.rho)
+
+    def advance(self, hardware_value: float, logical_value: float) -> float:
+        """Advance the estimate given the node's current clock readings.
+
+        ``hardware_value`` must be non-decreasing across calls; the difference
+        to the previous call determines the conservative growth.  The estimate
+        is then raised to the node's own logical clock, which is always a
+        valid lower bound on the network maximum.
+        """
+        if logical_value < 0.0 or hardware_value < 0.0:
+            raise ValueError("clock values are non-negative")
+        if self._last_hardware is None:
+            self._last_hardware = hardware_value
+        if hardware_value < self._last_hardware - 1e-12:
+            raise ValueError("hardware clocks never run backwards")
+        delta = max(0.0, hardware_value - self._last_hardware)
+        self._last_hardware = hardware_value
+        self._value += delta * self.conservative_rate_factor
+        if logical_value > self._value:
+            self._value = logical_value
+        return self._value
+
+    def observe_remote(self, remote_estimate: float) -> float:
+        """Incorporate a max estimate received from a neighbor."""
+        if remote_estimate < 0.0:
+            raise ValueError("the max estimate is non-negative")
+        if remote_estimate > self._value:
+            self._value = remote_estimate
+        return self._value
+
+    def lag_behind(self, logical_value: float) -> float:
+        """``M_u - L_u``; non-negative whenever :meth:`advance` was called."""
+        return self._value - logical_value

@@ -1,0 +1,250 @@
+"""Algorithm parameters and the constraints the paper places on them.
+
+The parameters mirror Section 4.3.1 of the paper:
+
+* ``rho``   -- upper bound on the hardware clock drift (Section 3).
+* ``mu``    -- rate boost used in fast mode; the logical clock runs at
+  ``(1 + mu) * h_u(t)`` in fast mode and at ``h_u(t)`` in slow mode.
+* ``sigma`` -- base of the logarithm in the gradient skew bound,
+  ``sigma = (1 - rho) * mu / (2 * rho)`` (equation (8)).
+* ``kappa_e`` -- per-edge weight, which must satisfy
+  ``kappa_e > 4 * (epsilon_e + mu * tau_e)`` (equation (9)).
+* ``delta_e`` -- slack used by the slow mode trigger, chosen in the open
+  interval ``(0, kappa_e / 2 - 2 * epsilon_e - 2 * mu * tau_e)``.
+* ``I(G)``  -- insertion duration for the static global skew estimate
+  (equation (10)) and its dynamic-estimate counterpart (equation (11)).
+* ``B``     -- constant for the dynamic-estimate analysis (equation (12)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+
+class ParameterError(ValueError):
+    """Raised when a parameter assignment violates a constraint of the paper."""
+
+
+@dataclass(frozen=True)
+class Parameters:
+    """Immutable bundle of the algorithm parameters.
+
+    The defaults describe a mildly drifting system (``rho = 1e-3``) with a ten
+    percent fast-mode boost, which satisfies every constraint of the paper
+    (``sigma`` is then just below 50, comfortably above the ``sigma >= 3``
+    assumption used in the analysis).
+    """
+
+    rho: float = 1e-3
+    mu: float = 0.1
+    iota: float = 1e-3
+    kappa_margin: float = 1.05
+    delta_fraction: float = 0.5
+    max_level: int = 0  # 0 means "derive from the global skew estimate"
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def sigma(self) -> float:
+        """Base of the gradient logarithm, equation (8)."""
+        return (1.0 - self.rho) * self.mu / (2.0 * self.rho)
+
+    @property
+    def alpha(self) -> float:
+        """Minimum logical clock rate (slow mode, slowest hardware clock)."""
+        return 1.0 - self.rho
+
+    @property
+    def beta(self) -> float:
+        """Maximum logical clock rate (fast mode, fastest hardware clock)."""
+        return (1.0 + self.rho) * (1.0 + self.mu)
+
+    @property
+    def min_hardware_rate(self) -> float:
+        return 1.0 - self.rho
+
+    @property
+    def max_hardware_rate(self) -> float:
+        return 1.0 + self.rho
+
+    @property
+    def self_stabilization_rate(self) -> float:
+        """Rate at which an excessive global skew shrinks, Theorem 5.6(II)."""
+        return self.mu * (1.0 - self.rho) - 2.0 * self.rho
+
+    @property
+    def b_constant(self) -> float:
+        """The constant ``B`` of equation (12) (its smallest legal value)."""
+        return 320.0 * (2.0 ** 7) / ((1.0 - self.rho) ** 2)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, *, strict_sigma: bool = False) -> None:
+        """Check the constraints of Section 4.3.1.
+
+        ``strict_sigma`` additionally enforces ``sigma >= 3``, which the
+        analysis in Section 5 assumes (the algorithm itself only needs
+        ``sigma > 1``).
+        """
+        if not 0.0 < self.rho < 1.0:
+            raise ParameterError(f"rho must lie in (0, 1), got {self.rho}")
+        if self.mu <= 0.0:
+            raise ParameterError(f"mu must be positive, got {self.mu}")
+        if self.mu > 0.1 + 1e-12:
+            raise ParameterError(
+                f"mu must not exceed 1/10 (equation (7)), got {self.mu}"
+            )
+        if self.sigma <= 1.0:
+            raise ParameterError(
+                "sigma = (1-rho)*mu/(2*rho) must exceed 1, i.e. "
+                f"mu > 2*rho/(1-rho); got sigma = {self.sigma:.4f}"
+            )
+        if strict_sigma and self.sigma < 3.0:
+            raise ParameterError(
+                f"the analysis assumes sigma >= 3, got sigma = {self.sigma:.4f}"
+            )
+        if self.iota <= 0.0:
+            raise ParameterError(f"iota must be positive, got {self.iota}")
+        if self.kappa_margin <= 1.0:
+            raise ParameterError(
+                f"kappa_margin must exceed 1 so that equation (9) is strict, "
+                f"got {self.kappa_margin}"
+            )
+        if not 0.0 < self.delta_fraction < 1.0:
+            raise ParameterError(
+                f"delta_fraction must lie in (0, 1), got {self.delta_fraction}"
+            )
+        if self.max_level < 0:
+            raise ParameterError(f"max_level must be >= 0, got {self.max_level}")
+
+    def is_valid(self) -> bool:
+        """Return True when :meth:`validate` would not raise."""
+        try:
+            self.validate()
+        except ParameterError:
+            return False
+        return True
+
+    def with_mu(self, mu: float) -> "Parameters":
+        """Return a copy with a different ``mu`` (useful for sweeps)."""
+        return replace(self, mu=mu)
+
+    def with_rho(self, rho: float) -> "Parameters":
+        """Return a copy with a different ``rho``."""
+        return replace(self, rho=rho)
+
+    # ------------------------------------------------------------------
+    # Per-edge quantities
+    # ------------------------------------------------------------------
+    def kappa_for(self, epsilon: float, tau: float) -> float:
+        """Edge weight ``kappa_e`` satisfying equation (9) with a margin."""
+        if epsilon < 0.0 or tau < 0.0:
+            raise ParameterError("epsilon and tau must be non-negative")
+        base = 4.0 * (epsilon + self.mu * tau)
+        if base <= 0.0:
+            # A zero-uncertainty, zero-detection-delay edge still needs a
+            # strictly positive weight for the triggers to be well defined.
+            base = 4.0 * self.mu * 1e-9 + 1e-9
+        return self.kappa_margin * base
+
+    def delta_for(self, kappa: float, epsilon: float, tau: float) -> float:
+        """Slack ``delta_e`` in ``(0, kappa/2 - 2*epsilon - 2*mu*tau)``."""
+        upper = kappa / 2.0 - 2.0 * epsilon - 2.0 * self.mu * tau
+        if upper <= 0.0:
+            raise ParameterError(
+                "kappa violates equation (9): "
+                f"kappa/2 - 2*epsilon - 2*mu*tau = {upper} <= 0"
+            )
+        return self.delta_fraction * upper
+
+    # ------------------------------------------------------------------
+    # Insertion durations
+    # ------------------------------------------------------------------
+    def insertion_duration(self, global_skew_bound: float) -> float:
+        """Insertion duration ``I(G~)`` for a static estimate, equation (10)."""
+        if global_skew_bound <= 0.0:
+            raise ParameterError(
+                f"the global skew bound must be positive, got {global_skew_bound}"
+            )
+        factor = (
+            20.0 * (1.0 + self.mu) / (1.0 - self.rho)
+            + 56.0 * self.mu
+            + (8.0 + 56.0 * self.mu) / self.sigma
+        )
+        return factor * global_skew_bound / self.mu
+
+    def insertion_duration_dynamic(
+        self, global_skew_estimate: float, message_delay: float, tau: float
+    ) -> float:
+        """Insertion duration for dynamic estimates, equation (11)."""
+        if global_skew_estimate <= 0.0:
+            raise ParameterError(
+                "the global skew estimate must be positive, got "
+                f"{global_skew_estimate}"
+            )
+        if message_delay < 0.0 or tau < 0.0:
+            raise ParameterError("message delay and tau must be non-negative")
+        ell = (1.0 + self.rho) * (1.0 + self.mu) * (message_delay + 2.0 * tau) + (
+            8.0 * self.b_constant * global_skew_estimate / self.mu
+        )
+        return float(2.0 ** math.ceil(math.log2(ell)))
+
+    # ------------------------------------------------------------------
+    # Levels and gradient sequences
+    # ------------------------------------------------------------------
+    def levels_for(self, global_skew_bound: float, kappa_min: float) -> int:
+        """Number of levels that can ever be relevant.
+
+        Levels ``s`` with ``C_s = 2 * G~ / sigma**(s-1) < kappa_min`` impose a
+        vacuous requirement on any real path, so ``O(log_sigma G~)`` levels
+        suffice (Section 4.3.2).
+        """
+        if self.max_level:
+            return self.max_level
+        if global_skew_bound <= 0.0 or kappa_min <= 0.0:
+            raise ParameterError("global skew bound and kappa_min must be positive")
+        ratio = 2.0 * global_skew_bound / kappa_min
+        if ratio <= 1.0:
+            return 1
+        return max(1, int(math.ceil(math.log(ratio, self.sigma))) + 2)
+
+    def gradient_sequence(self, global_skew_bound: float, levels: int) -> list:
+        """The gradient sequence ``C_s = 2*G / sigma**max(s-2, 0)``.
+
+        This is the sequence used by Theorem 5.22 / Lemma 5.14 to turn
+        legality into explicit skew bounds.  ``C[0]`` is unused (levels are
+        1-based) and set equal to ``C[1]`` for convenience.
+        """
+        if levels < 1:
+            raise ParameterError(f"levels must be >= 1, got {levels}")
+        values = [2.0 * global_skew_bound]
+        for s in range(1, levels + 1):
+            values.append(2.0 * global_skew_bound / (self.sigma ** max(s - 2, 0)))
+        return values
+
+    def gradient_skew_bound(self, path_weight: float, global_skew_bound: float) -> float:
+        """Skew bound on a fully inserted path of weight ``kappa_p``.
+
+        This is the bound of Corollary 5.26 / Corollary 7.10:
+        ``(s(p) + 1) * kappa_p`` with
+        ``s(p) = max(2 + ceil(log_sigma(4*G / kappa_p)), 1)`` where we use the
+        static bound ``G`` in place of ``4*G(P(t))``.
+        """
+        if path_weight <= 0.0:
+            return 0.0
+        ratio = 4.0 * global_skew_bound / path_weight
+        if ratio <= 1.0:
+            level = 1
+        else:
+            level = max(2 + int(math.ceil(math.log(ratio, self.sigma))), 1)
+        return (level + 1) * path_weight
+
+    def local_skew_bound(self, kappa: float, global_skew_bound: float) -> float:
+        """Gradient bound applied to a single edge of weight ``kappa``."""
+        return self.gradient_skew_bound(kappa, global_skew_bound)
+
+
+DEFAULT_PARAMETERS = Parameters()

@@ -1,0 +1,19 @@
+"""Estimate layer abstraction, message types and bounded-delay transport."""
+
+from .estimate_layer import EstimateLayer, EstimateLayerError
+from .message_layer import BroadcastEstimateLayer
+from .messages import ClockBroadcast, Envelope, InsertEdgeMessage
+from .oracle_layer import OracleEstimateLayer
+from .transport import Transport, TransportError
+
+__all__ = [
+    "EstimateLayer",
+    "EstimateLayerError",
+    "BroadcastEstimateLayer",
+    "ClockBroadcast",
+    "Envelope",
+    "InsertEdgeMessage",
+    "OracleEstimateLayer",
+    "Transport",
+    "TransportError",
+]

@@ -1,0 +1,56 @@
+"""The estimate layer abstraction (Section 3.1).
+
+An estimate layer provides, for every node ``u`` and every current neighbor
+``v``, an estimate ``L~_u^v(t)`` of ``v``'s logical clock together with a
+guaranteed error bound ``epsilon_{u,v}`` such that inequality (1) of the paper
+holds:
+
+    |L_v(t) - L~_u^v(t)| <= epsilon_{u,v}.
+
+Two concrete layers are provided:
+
+* :class:`~repro.estimate.oracle_layer.OracleEstimateLayer` reads the true
+  clock and perturbs it by a bounded (possibly adversarial) error -- the
+  abstraction the paper analyses directly.
+* :class:`~repro.estimate.message_layer.BroadcastEstimateLayer` derives
+  estimates from periodic clock broadcasts over the bounded-delay transport,
+  showing one concrete realization of the abstraction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..network.edge import NodeId
+from .messages import ClockBroadcast
+
+
+class EstimateLayerError(ValueError):
+    """Raised on invalid estimate layer operations."""
+
+
+class EstimateLayer:
+    """Interface shared by all estimate layers."""
+
+    def estimate(
+        self, observer: NodeId, subject: NodeId, t: float
+    ) -> Optional[float]:  # pragma: no cover - abstract
+        """Return ``L~_observer^subject(t)`` or ``None`` when unavailable."""
+        raise NotImplementedError
+
+    def error_bound(
+        self, observer: NodeId, subject: NodeId
+    ) -> float:  # pragma: no cover - abstract
+        """Guaranteed error bound ``epsilon_{observer, subject}``."""
+        raise NotImplementedError
+
+    def on_broadcast(
+        self, receiver: NodeId, broadcast: ClockBroadcast, t: float, transit_time: float
+    ) -> None:
+        """Hook invoked when a clock broadcast reaches ``receiver``."""
+        # Oracle-style layers do not need broadcasts; default is a no-op.
+        return None
+
+    def requires_broadcasts(self) -> bool:
+        """True when the layer only works if nodes broadcast periodically."""
+        return False

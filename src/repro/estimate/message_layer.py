@@ -1,0 +1,108 @@
+"""Message-based estimate layer.
+
+Estimates are derived from periodic :class:`ClockBroadcast` messages: the
+observer stores the most recent broadcast value of each neighbor together with
+its own hardware clock at receipt, and extrapolates at its own hardware rate.
+The guaranteed error bound follows from the broadcast interval, the delay
+bound of the edge and the drift/rate envelopes:
+
+* during the transit time (at most ``T``) the subject's logical clock advances
+  by at most ``(1 + rho)(1 + mu) * T``;
+* during the staleness period after receipt the extrapolation error grows at
+  rate at most ``mu * (1 + rho) + 2 * rho`` (the difference between the
+  fastest logical rate and the slowest hardware rate, and vice versa).
+
+The resulting bound is what :meth:`error_bound` reports, so inequality (1)
+holds for this layer by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..network.dynamic_graph import DynamicGraph
+from ..network.edge import NodeId
+from .estimate_layer import EstimateLayer, EstimateLayerError
+from .messages import ClockBroadcast
+
+HardwareReader = Callable[[NodeId], float]
+
+
+@dataclass
+class _StoredEstimate:
+    value: float
+    observer_hardware_at_receipt: float
+    receipt_time: float
+
+
+class BroadcastEstimateLayer(EstimateLayer):
+    """Estimates extrapolated from the latest received clock broadcast."""
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        hardware_reader: HardwareReader,
+        *,
+        broadcast_interval: float,
+        rho: float,
+        mu: float,
+    ):
+        if broadcast_interval <= 0.0:
+            raise EstimateLayerError("broadcast_interval must be positive")
+        if not 0.0 <= rho < 1.0:
+            raise EstimateLayerError(f"rho must lie in [0, 1), got {rho}")
+        if mu < 0.0:
+            raise EstimateLayerError(f"mu must be non-negative, got {mu}")
+        self.graph = graph
+        self._hardware_reader = hardware_reader
+        self.broadcast_interval = float(broadcast_interval)
+        self.rho = float(rho)
+        self.mu = float(mu)
+        self._stored: Dict[Tuple[NodeId, NodeId], _StoredEstimate] = {}
+
+    # ------------------------------------------------------------------
+    def requires_broadcasts(self) -> bool:
+        return True
+
+    def on_broadcast(
+        self, receiver: NodeId, broadcast: ClockBroadcast, t: float, transit_time: float
+    ) -> None:
+        key = (receiver, broadcast.sender)
+        self._stored[key] = _StoredEstimate(
+            value=broadcast.logical,
+            observer_hardware_at_receipt=self._hardware_reader(receiver),
+            receipt_time=t,
+        )
+
+    def forget(self, observer: NodeId, subject: NodeId) -> None:
+        """Discard the stored estimate (called when an edge disappears)."""
+        self._stored.pop((observer, subject), None)
+
+    # ------------------------------------------------------------------
+    def estimate(self, observer: NodeId, subject: NodeId, t: float) -> Optional[float]:
+        stored = self._stored.get((observer, subject))
+        if stored is None:
+            return None
+        elapsed_hardware = (
+            self._hardware_reader(observer) - stored.observer_hardware_at_receipt
+        )
+        return stored.value + max(0.0, elapsed_hardware)
+
+    def staleness(self, observer: NodeId, subject: NodeId, t: float) -> Optional[float]:
+        """Real time since the last broadcast from ``subject`` was received."""
+        stored = self._stored.get((observer, subject))
+        if stored is None:
+            return None
+        return max(0.0, t - stored.receipt_time)
+
+    def error_bound(self, observer: NodeId, subject: NodeId) -> float:
+        params = self.graph.edge_params(observer, subject)
+        delay_bound = params.delay
+        # Worst-case real-time staleness of the stored value: one full
+        # broadcast interval (measured on the sender's hardware clock, hence
+        # the 1/(1-rho) factor) plus the transit time of the next broadcast.
+        staleness_bound = self.broadcast_interval / (1.0 - self.rho) + delay_bound
+        transit_error = (1.0 + self.rho) * (1.0 + self.mu) * delay_bound
+        drift_error = (self.mu * (1.0 + self.rho) + 2.0 * self.rho) * staleness_bound
+        return transit_error + drift_error

@@ -1,0 +1,5 @@
+"""Analytic lower bounds and the adversarial scenarios exhibiting them."""
+
+from . import analytic, insertion_bound, shifting
+
+__all__ = ["analytic", "insertion_bound", "shifting"]

@@ -1,0 +1,108 @@
+"""Analytic lower bounds quoted or proved by the paper.
+
+* ``Omega(D)`` global skew: the shifting argument gives ``sum(eps)/2`` on a
+  path with delay uncertainties ``eps`` [Biaz & Welch], strengthened to
+  roughly ``D`` for algorithms within a linear envelope of real time.
+* ``Omega(log_b D)`` local skew with ``b = min(1/rho, (beta - alpha)/(alpha
+  rho))`` [Lenzen, Locher, Wattenhofer; Fan & Lynch].
+* ``Omega(D)`` stabilization time for non-trivial dynamic gradient CSAs
+  (Theorem 8.1 of this paper, strengthening the Omega(D/S) bound of [11]).
+
+These functions return concrete numbers used as reference lines in the
+benchmark tables; the measured quantities must stay above the lower bounds
+(up to the simulator being unable to realize the exact worst case) and below
+the algorithm's upper bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..core.parameters import Parameters
+
+
+def global_skew_lower_bound(uncertainties: Iterable[float]) -> float:
+    """Shifting-argument bound: half the summed delay uncertainty of a path."""
+    total = 0.0
+    for value in uncertainties:
+        if value < 0.0:
+            raise ValueError("uncertainties must be non-negative")
+        total += value
+    return total / 2.0
+
+
+def local_skew_base(params: Parameters) -> float:
+    """The base ``b = min(1/rho, (beta - alpha) / (alpha * rho))``."""
+    alpha = params.alpha
+    beta = params.beta
+    if params.rho <= 0.0:
+        raise ValueError("the bound is stated for rho > 0")
+    return min(1.0 / params.rho, (beta - alpha) / (alpha * params.rho))
+
+
+def local_skew_lower_bound(diameter: float, params: Parameters) -> float:
+    """``Omega(log_b D)`` local skew lower bound (reported with constant 1).
+
+    The bound is per unit edge weight; multiply by the minimum edge weight to
+    compare against absolute skews.
+    """
+    if diameter <= 1.0:
+        return 0.0
+    base = local_skew_base(params)
+    if base <= 1.0:
+        return 0.0
+    return math.log(diameter, base)
+
+
+def stabilization_time_lower_bound(
+    diameter: float,
+    params: Parameters,
+    *,
+    c1: float = 1.0 / 32.0,
+    message_delay: float = 1.0,
+) -> float:
+    """Theorem 8.1: stabilization needs at least ``c1 * D * T / (1 + rho)`` time.
+
+    The theorem constructs a line of ``n + 1`` nodes with edge weights ``T``
+    (so ``D = n * T``) and shows that ``c1 * n * T / (1 + rho)`` time after a
+    new edge appears the skew on it still exceeds the stable bound, for any
+    non-trivial algorithm and constants ``c1, c2 < 1/16``.
+    """
+    if diameter < 0.0:
+        raise ValueError("the diameter is non-negative")
+    if not 0.0 < c1 < 1.0 / 16.0:
+        raise ValueError("c1 must lie in (0, 1/16)")
+    del message_delay  # already folded into the (weighted) diameter
+    return c1 * diameter / (1.0 + params.rho)
+
+
+def insertion_skew_lower_bound(n: int, *, c1: float = 1.0 / 32.0, c2: float = 1.0 / 32.0) -> float:
+    """Skew remaining on the new edge in the Theorem 8.1 construction.
+
+    With ``u = v_{c1 n}``, ``v = v_{n - c1 n}`` carrying skew at least
+    ``n - 2 c1 n - 2`` and the two end segments bounded by ``c2 n`` each, the
+    skew between the endpoints of the new edge is at least
+    ``n - 2 c1 n - 2 - 4 c2 n > n/2 - 2`` for the allowed constants.
+    """
+    if n < 4:
+        return 0.0
+    if not (0.0 < c1 < 1.0 / 16.0 and 0.0 < c2 < 1.0 / 16.0):
+        raise ValueError("c1 and c2 must lie in (0, 1/16)")
+    return max(0.0, n - 2.0 * c1 * n - 2.0 - 4.0 * c2 * n)
+
+
+def drift_accumulation(rho: float, elapsed: float) -> float:
+    """Maximum skew two isolated drifting clocks accumulate in ``elapsed`` time."""
+    if rho < 0.0 or elapsed < 0.0:
+        raise ValueError("rho and elapsed must be non-negative")
+    return 2.0 * rho * elapsed
+
+
+def gradient_trade_off_bound(stable_skew: float, diameter: float) -> float:
+    """The [11] trade-off: stabilization time is ``Omega(D / S)`` for stable skew ``S``."""
+    if stable_skew <= 0.0:
+        raise ValueError("the stable skew must be positive")
+    if diameter < 0.0:
+        raise ValueError("the diameter is non-negative")
+    return diameter / stable_skew

@@ -1,0 +1,92 @@
+"""The Theorem 8.1 construction: ``Omega(D)`` stabilization time.
+
+The construction takes a line ``v_0, ..., v_n`` whose internal section
+carries skew ``Omega(n)`` (built with the drift/delay adversary), then lets a
+new edge ``{v_0, v_n}`` appear.  Because the inner nodes ``u = v_{c1 n}`` and
+``v = v_{n - c1 n}`` are at distance ``c1 n`` from the endpoints, no
+information about the new edge can influence them for ``c1 n T / (1 + rho)``
+time, so their skew -- and hence, by the gradient bound on the stable end
+segments, the skew across the new edge -- remains ``Omega(n)`` during that
+whole period.
+
+The scenario builder below produces the graph (with the scheduled insertion),
+the adversarial drift model, and the analytic quantities the measurement is
+compared against in experiment E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.parameters import Parameters
+from ..network.dynamics import InsertionScenario, line_with_end_to_end_insertion
+from ..network.edge import EdgeParams
+from ..sim.drift import DriftModel, TwoGroupAdversary
+from .analytic import insertion_skew_lower_bound, stabilization_time_lower_bound
+
+
+@dataclass(frozen=True)
+class InsertionBoundScenario:
+    """Everything needed to run and evaluate the Theorem 8.1 experiment."""
+
+    scenario: InsertionScenario
+    drift: DriftModel
+    n: int
+    c1: float
+    skew_lower_bound: float
+    persistence_lower_bound: float
+
+    @property
+    def new_edge(self) -> Tuple[int, int]:
+        return self.scenario.new_edge
+
+    @property
+    def insertion_time(self) -> float:
+        return self.scenario.insertion_time
+
+    @property
+    def inner_pair(self) -> Tuple[int, int]:
+        """The nodes ``u = v_{ceil(c1 n)}`` and ``v = v_{floor(n - c1 n)}``."""
+        import math
+
+        u = int(math.ceil(self.c1 * self.n))
+        v = int(math.floor(self.n - self.c1 * self.n))
+        return (u, v)
+
+
+def build(
+    n: int,
+    params: Parameters,
+    *,
+    edge_params: EdgeParams = EdgeParams(),
+    skew_buildup_time: float,
+    c1: float = 1.0 / 32.0,
+) -> InsertionBoundScenario:
+    """Build the Theorem 8.1 scenario on a line of ``n + 1`` nodes.
+
+    ``skew_buildup_time`` is how long the drift adversary works before the new
+    edge appears; with the two-group adversary the achievable end-to-end skew
+    is ``min(2 rho * skew_buildup_time, global skew bound of the algorithm)``.
+    """
+    if n < 4:
+        raise ValueError("the construction needs n >= 4")
+    if skew_buildup_time <= 0.0:
+        raise ValueError("skew_buildup_time must be positive")
+    scenario = line_with_end_to_end_insertion(
+        n + 1, skew_buildup_time, edge_params
+    )
+    nodes = scenario.graph.nodes
+    half = len(nodes) // 2
+    drift = TwoGroupAdversary(params.rho, nodes[:half], nodes[half:])
+    weighted_diameter = n * edge_params.epsilon
+    return InsertionBoundScenario(
+        scenario=scenario,
+        drift=drift,
+        n=n,
+        c1=c1,
+        skew_lower_bound=insertion_skew_lower_bound(n, c1=c1, c2=c1),
+        persistence_lower_bound=stabilization_time_lower_bound(
+            weighted_diameter, params, c1=c1
+        ),
+    )

@@ -1,0 +1,82 @@
+"""Shifting-argument scenario: hiding ``Omega(D)`` skew from the algorithm.
+
+The classical lower bound on the global skew builds two indistinguishable
+executions by trading message delays against clock rates along a path.  In a
+simulation we cannot literally present two executions to the same algorithm
+at once, but we can construct the adversarial single execution that the
+argument relies on: hardware rates ramp from slow to fast along the line and
+message delays are extremal in opposite directions, so that every node's
+observations are consistent with a far smaller skew than the one actually
+present.  Running any envelope-respecting algorithm in this scenario yields a
+global skew of ``Omega(sum of uncertainties)``, which experiment E7 compares
+against the analytic bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.parameters import Parameters
+from ..network.dynamic_graph import DynamicGraph
+from ..network.edge import EdgeParams
+from ..network import topology
+from ..sim.delay import DelayModel, DirectionalDelay
+from ..sim.drift import DriftModel, RampAdversary
+from .analytic import global_skew_lower_bound
+
+
+@dataclass(frozen=True)
+class ShiftingScenario:
+    """A line network plus the adversarial drift and delay strategies."""
+
+    graph: DynamicGraph
+    drift: DriftModel
+    delay: DelayModel
+    expected_lower_bound: float
+    n: int
+
+    @property
+    def endpoints(self) -> Tuple[int, int]:
+        return (0, self.n - 1)
+
+
+def build(
+    n: int,
+    params: Parameters,
+    *,
+    edge_params: EdgeParams = EdgeParams(),
+    reverse_period: float = None,
+) -> ShiftingScenario:
+    """Build the shifting scenario on a line of ``n`` nodes.
+
+    ``reverse_period`` optionally flips the drift ramp periodically, which
+    keeps re-building skew in alternating directions (useful for long runs).
+    """
+    if n < 2:
+        raise ValueError("the shifting scenario needs at least two nodes")
+    graph = topology.line(n, edge_params)
+    drift = RampAdversary(params.rho, graph.nodes, reverse_period=reverse_period)
+    delay = DirectionalDelay(slow_towards_higher=True)
+    uncertainties = [edge_params.epsilon for _ in range(n - 1)]
+    return ShiftingScenario(
+        graph=graph,
+        drift=drift,
+        delay=delay,
+        expected_lower_bound=global_skew_lower_bound(uncertainties),
+        n=n,
+    )
+
+
+def minimum_time_to_accumulate(target_skew: float, params: Parameters) -> float:
+    """Time the drift adversary needs to build ``target_skew`` between endpoints.
+
+    The ramp adversary separates the two ends of the line at rate ``2 * rho``,
+    so at least ``target_skew / (2 * rho)`` time is required.  Runs shorter
+    than this cannot exhibit the bound, regardless of the algorithm.
+    """
+    if target_skew < 0.0:
+        raise ValueError("the target skew is non-negative")
+    if params.rho <= 0.0:
+        raise ValueError("rho must be positive for skew to accumulate")
+    return target_skew / (2.0 * params.rho)

@@ -1,0 +1,16 @@
+"""Dynamic estimate graph, topologies, paths and diameter bookkeeping."""
+
+from .dynamic_graph import DynamicGraph, EdgeEvent, GraphError
+from .edge import DEFAULT_EDGE_PARAMS, EdgeKey, EdgeParams, NodeId
+from .diameter import DiameterTracker
+
+__all__ = [
+    "DynamicGraph",
+    "EdgeEvent",
+    "GraphError",
+    "DEFAULT_EDGE_PARAMS",
+    "EdgeKey",
+    "EdgeParams",
+    "NodeId",
+    "DiameterTracker",
+]

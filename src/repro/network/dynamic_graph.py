@@ -1,0 +1,271 @@
+"""The directed dynamic estimate graph ``G = (V, E(t))``.
+
+Edges are directed: ``(u, v) in E(t)`` means that at time ``t`` node ``u`` has
+a means of estimating ``v``'s clock.  An undirected edge ``{u, v}`` exists when
+both directions are present.  The asymmetry models the (bounded) delay with
+which endpoints learn about link status changes.
+
+The graph also stores a *schedule* of future edge events so that scenarios can
+be described declaratively and replayed by the simulation engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .edge import DEFAULT_EDGE_PARAMS, EdgeKey, EdgeParams, NodeId
+
+
+class GraphError(ValueError):
+    """Raised on invalid graph manipulations."""
+
+
+@dataclass(frozen=True, order=True)
+class EdgeEvent:
+    """A scheduled directed edge appearance or disappearance."""
+
+    time: float
+    kind: str  # "up" or "down"
+    source: NodeId
+    target: NodeId
+
+    def __post_init__(self):
+        if self.kind not in ("up", "down"):
+            raise GraphError(f"unknown edge event kind {self.kind!r}")
+        if self.time < 0.0:
+            raise GraphError(f"event times must be non-negative, got {self.time}")
+
+
+class DynamicGraph:
+    """Mutable directed graph with per-edge parameters and an event schedule."""
+
+    def __init__(self, nodes: Iterable[NodeId]):
+        self._nodes: List[NodeId] = sorted(set(int(n) for n in nodes))
+        if not self._nodes:
+            raise GraphError("a dynamic graph needs at least one node")
+        self._node_set: Set[NodeId] = set(self._nodes)
+        self._out: Dict[NodeId, Set[NodeId]] = {n: set() for n in self._nodes}
+        self._params: Dict[EdgeKey, EdgeParams] = {}
+        self._schedule: List[EdgeEvent] = []
+        self._schedule_sorted = True
+
+    # ------------------------------------------------------------------
+    # Node and edge accessors
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[NodeId]:
+        return list(self._nodes)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._node_set
+
+    def neighbors(self, node: NodeId) -> Set[NodeId]:
+        """Out-neighbors of ``node``: the nodes it currently can estimate."""
+        self._require_node(node)
+        return set(self._out[node])
+
+    def symmetric_neighbors(self, node: NodeId) -> Set[NodeId]:
+        """Neighbors connected by an undirected (bidirectional) edge."""
+        self._require_node(node)
+        return {v for v in self._out[node] if node in self._out[v]}
+
+    def has_directed_edge(self, source: NodeId, target: NodeId) -> bool:
+        self._require_node(source)
+        self._require_node(target)
+        return target in self._out[source]
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        """True when the undirected edge ``{u, v}`` exists (both directions)."""
+        return self.has_directed_edge(u, v) and self.has_directed_edge(v, u)
+
+    def directed_edges(self) -> Iterator[Tuple[NodeId, NodeId]]:
+        for u in self._nodes:
+            for v in sorted(self._out[u]):
+                yield (u, v)
+
+    def edges(self) -> Iterator[EdgeKey]:
+        """Iterate over undirected edges present in both directions."""
+        seen: Set[EdgeKey] = set()
+        for u in self._nodes:
+            for v in self._out[u]:
+                key = EdgeKey.of(u, v)
+                if key in seen:
+                    continue
+                if self.has_edge(u, v):
+                    seen.add(key)
+                    yield key
+
+    def edge_count(self) -> int:
+        return sum(1 for _ in self.edges())
+
+    # ------------------------------------------------------------------
+    # Edge parameters
+    # ------------------------------------------------------------------
+    def set_edge_params(self, u: NodeId, v: NodeId, params: EdgeParams) -> None:
+        self._require_node(u)
+        self._require_node(v)
+        self._params[EdgeKey.of(u, v)] = params
+
+    def edge_params(self, u: NodeId, v: NodeId) -> EdgeParams:
+        """Parameters of edge ``{u, v}`` (defaults apply if never set)."""
+        return self._params.get(EdgeKey.of(u, v), DEFAULT_EDGE_PARAMS)
+
+    def known_edge_params(self) -> Dict[EdgeKey, EdgeParams]:
+        return dict(self._params)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_directed_edge(
+        self, source: NodeId, target: NodeId, params: Optional[EdgeParams] = None
+    ) -> None:
+        self._require_node(source)
+        self._require_node(target)
+        if source == target:
+            raise GraphError(f"self loops are not allowed ({source})")
+        self._out[source].add(target)
+        if params is not None:
+            self._params[EdgeKey.of(source, target)] = params
+
+    def remove_directed_edge(self, source: NodeId, target: NodeId) -> None:
+        self._require_node(source)
+        self._require_node(target)
+        self._out[source].discard(target)
+
+    def add_edge(
+        self, u: NodeId, v: NodeId, params: Optional[EdgeParams] = None
+    ) -> None:
+        """Add the undirected edge ``{u, v}`` (both directions at once)."""
+        self.add_directed_edge(u, v, params)
+        self.add_directed_edge(v, u)
+
+    def remove_edge(self, u: NodeId, v: NodeId) -> None:
+        """Remove the undirected edge ``{u, v}`` (both directions)."""
+        self.remove_directed_edge(u, v)
+        self.remove_directed_edge(v, u)
+
+    # ------------------------------------------------------------------
+    # Event schedule
+    # ------------------------------------------------------------------
+    def schedule_edge_up(
+        self,
+        time: float,
+        u: NodeId,
+        v: NodeId,
+        *,
+        params: Optional[EdgeParams] = None,
+        skew: float = 0.0,
+    ) -> None:
+        """Schedule the undirected edge ``{u, v}`` to appear at ``time``.
+
+        ``skew`` delays the appearance of the ``(v, u)`` direction, modeling
+        asymmetric link detection; it must not exceed the detection delay
+        ``tau`` of the edge.
+        """
+        self._require_node(u)
+        self._require_node(v)
+        if params is not None:
+            self.set_edge_params(u, v, params)
+        tau = self.edge_params(u, v).tau
+        if skew < 0.0 or skew > tau + 1e-12:
+            raise GraphError(
+                f"edge-up skew {skew} must lie in [0, tau={tau}] for edge ({u},{v})"
+            )
+        self._push_event(EdgeEvent(time, "up", u, v))
+        self._push_event(EdgeEvent(time + skew, "up", v, u))
+
+    def schedule_edge_down(
+        self, time: float, u: NodeId, v: NodeId, *, skew: float = 0.0
+    ) -> None:
+        """Schedule the undirected edge ``{u, v}`` to disappear at ``time``."""
+        self._require_node(u)
+        self._require_node(v)
+        tau = self.edge_params(u, v).tau
+        if skew < 0.0 or skew > tau + 1e-12:
+            raise GraphError(
+                f"edge-down skew {skew} must lie in [0, tau={tau}] for edge ({u},{v})"
+            )
+        self._push_event(EdgeEvent(time, "down", u, v))
+        self._push_event(EdgeEvent(time + skew, "down", v, u))
+
+    def schedule_directed_event(self, event: EdgeEvent) -> None:
+        self._require_node(event.source)
+        self._require_node(event.target)
+        self._push_event(event)
+
+    def pending_events(self) -> List[EdgeEvent]:
+        self._sort_schedule()
+        return list(self._schedule)
+
+    def pop_events_until(self, time: float) -> List[EdgeEvent]:
+        """Remove and return all scheduled events with ``event.time <= time``."""
+        self._sort_schedule()
+        due: List[EdgeEvent] = []
+        rest: List[EdgeEvent] = []
+        for event in self._schedule:
+            if event.time <= time + 1e-12:
+                due.append(event)
+            else:
+                rest.append(event)
+        self._schedule = rest
+        return due
+
+    def apply_event(self, event: EdgeEvent) -> None:
+        """Apply a directed edge event to the current edge set."""
+        if event.kind == "up":
+            self.add_directed_edge(event.source, event.target)
+        else:
+            self.remove_directed_edge(event.source, event.target)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def adjacency(self) -> Dict[NodeId, Set[NodeId]]:
+        """Symmetric adjacency over undirected edges (copy)."""
+        return {n: self.symmetric_neighbors(n) for n in self._nodes}
+
+    def is_connected(self) -> bool:
+        """Connectivity of the undirected graph induced by symmetric edges."""
+        if not self._nodes:
+            return True
+        adjacency = self.adjacency()
+        start = self._nodes[0]
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for other in adjacency[node]:
+                if other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+        return len(seen) == len(self._nodes)
+
+    def copy(self) -> "DynamicGraph":
+        clone = DynamicGraph(self._nodes)
+        for u in self._nodes:
+            clone._out[u] = set(self._out[u])
+        clone._params = dict(self._params)
+        clone._schedule = list(self._schedule)
+        clone._schedule_sorted = self._schedule_sorted
+        return clone
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _require_node(self, node: NodeId) -> None:
+        if node not in self._node_set:
+            raise GraphError(f"unknown node {node}")
+
+    def _push_event(self, event: EdgeEvent) -> None:
+        self._schedule.append(event)
+        self._schedule_sorted = False
+
+    def _sort_schedule(self) -> None:
+        if not self._schedule_sorted:
+            self._schedule.sort()
+            self._schedule_sorted = True

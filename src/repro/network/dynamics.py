@@ -1,0 +1,156 @@
+"""Dynamic-network scenarios: scripted edge churn on top of a base topology.
+
+The adversary of the paper may insert and remove (estimate) edges at will,
+subject only to keeping the network connected enough for a bounded dynamic
+diameter.  These helpers build the scenarios used by the experiments:
+
+* :func:`with_edge_insertion` -- a static base graph plus one new edge that
+  appears mid-run (the stabilization-time experiments E4 and E7);
+* :func:`periodic_churn` -- random extra edges that flap on and off;
+* :func:`sliding_window_line` -- a "mobile" line in which each node is only
+  connected to a window of nearby nodes and the window drifts over time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .dynamic_graph import DynamicGraph, GraphError
+from .edge import DEFAULT_EDGE_PARAMS, EdgeParams, NodeId
+from . import topology
+
+
+@dataclass(frozen=True)
+class InsertionScenario:
+    """A base graph plus a single scheduled edge insertion."""
+
+    graph: DynamicGraph
+    new_edge: Tuple[NodeId, NodeId]
+    insertion_time: float
+
+
+def with_edge_insertion(
+    graph: DynamicGraph,
+    u: NodeId,
+    v: NodeId,
+    insertion_time: float,
+    *,
+    params: Optional[EdgeParams] = None,
+    detection_skew: float = 0.0,
+) -> InsertionScenario:
+    """Schedule the undirected edge ``{u, v}`` to appear at ``insertion_time``."""
+    if graph.has_edge(u, v):
+        raise GraphError(f"edge ({u}, {v}) already exists in the base graph")
+    if insertion_time < 0.0:
+        raise GraphError("insertion_time must be non-negative")
+    scenario_graph = graph.copy()
+    scenario_graph.schedule_edge_up(
+        insertion_time, u, v, params=params, skew=detection_skew
+    )
+    return InsertionScenario(scenario_graph, (u, v), insertion_time)
+
+
+def line_with_end_to_end_insertion(
+    n: int,
+    insertion_time: float,
+    params: EdgeParams = DEFAULT_EDGE_PARAMS,
+    *,
+    detection_skew: float = 0.0,
+) -> InsertionScenario:
+    """The Theorem 8.1 scenario: a line whose endpoints become adjacent."""
+    if n < 3:
+        raise GraphError(f"the end-to-end insertion scenario needs n >= 3, got {n}")
+    base = topology.line(n, params)
+    return with_edge_insertion(
+        base, 0, n - 1, insertion_time, params=params, detection_skew=detection_skew
+    )
+
+
+def periodic_churn(
+    graph: DynamicGraph,
+    candidate_edges: Sequence[Tuple[NodeId, NodeId]],
+    *,
+    period: float,
+    up_fraction: float = 0.5,
+    horizon: float,
+    params: Optional[EdgeParams] = None,
+    seed: Optional[int] = None,
+) -> DynamicGraph:
+    """Randomly toggle extra edges every ``period`` time units until ``horizon``.
+
+    The base edges of ``graph`` are never removed, so the network stays
+    connected at all times (the paper's connectivity assumption).
+    """
+    if period <= 0.0:
+        raise GraphError("churn period must be positive")
+    if not 0.0 <= up_fraction <= 1.0:
+        raise GraphError("up_fraction must lie in [0, 1]")
+    rng = random.Random(seed)
+    scenario = graph.copy()
+    state = {tuple(sorted(e)): False for e in candidate_edges}
+    for edge in state:
+        if scenario.has_edge(*edge):
+            raise GraphError(f"candidate edge {edge} already exists in the base graph")
+    t = period
+    while t <= horizon:
+        for edge in sorted(state):
+            want_up = rng.random() < up_fraction
+            if want_up and not state[edge]:
+                scenario.schedule_edge_up(t, edge[0], edge[1], params=params)
+                state[edge] = True
+            elif not want_up and state[edge]:
+                scenario.schedule_edge_down(t, edge[0], edge[1])
+                state[edge] = False
+        t += period
+    return scenario
+
+
+def sliding_window_line(
+    n: int,
+    *,
+    window: int = 2,
+    shift_period: float,
+    horizon: float,
+    params: EdgeParams = DEFAULT_EDGE_PARAMS,
+) -> DynamicGraph:
+    """A mobility-flavoured dynamic line.
+
+    Nodes are arranged on a line; besides the always-on backbone edges
+    ``(i, i+1)``, each node is connected to nodes up to ``window`` hops away,
+    but those shortcut edges rotate over time: every ``shift_period`` the set
+    of active shortcuts shifts by one position, emulating relative movement.
+    """
+    if n < 3:
+        raise GraphError("sliding_window_line needs at least 3 nodes")
+    if window < 2:
+        raise GraphError("window must be at least 2 to create shortcuts")
+    graph = topology.line(n, params)
+    shortcuts: List[Tuple[int, int]] = []
+    for i in range(n):
+        for d in range(2, window + 1):
+            if i + d < n:
+                shortcuts.append((i, i + d))
+    if not shortcuts:
+        return graph
+    # Initially the even-indexed shortcuts are up.
+    active = set(idx for idx in range(len(shortcuts)) if idx % 2 == 0)
+    for idx in sorted(active):
+        u, v = shortcuts[idx]
+        graph.add_edge(u, v, params)
+    t = shift_period
+    offset = 1
+    while t <= horizon:
+        new_active = set(
+            (idx + offset) % len(shortcuts) for idx in range(0, len(shortcuts), 2)
+        )
+        for idx in sorted(active - new_active):
+            graph.schedule_edge_down(t, *shortcuts[idx])
+        for idx in sorted(new_active - active):
+            u, v = shortcuts[idx]
+            graph.schedule_edge_up(t, u, v, params=params)
+        active = new_active
+        offset += 1
+        t += shift_period
+    return graph

@@ -1,0 +1,90 @@
+"""Estimate edges and their parameters.
+
+Every (undirected) estimate edge ``{u, v}`` carries three parameters
+(Section 3.1):
+
+* ``epsilon`` -- the estimate uncertainty: the estimate layer guarantees
+  ``|L_v(t) - L~_u^v(t)| <= epsilon`` whenever ``v`` is a neighbor of ``u``.
+* ``tau`` -- the detection delay: the two endpoints detect the appearance or
+  disappearance of the edge within ``tau`` time of each other.
+* ``delay`` -- the bound ``T_{u,v}`` on the delivery time of messages actively
+  exchanged over the edge (used only for the insertion handshake and for
+  flooding of max estimates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+NodeId = int
+
+
+@dataclass(frozen=True, order=True)
+class EdgeKey:
+    """Canonical identifier of an undirected edge (smaller endpoint first)."""
+
+    a: NodeId
+    b: NodeId
+
+    def __post_init__(self):
+        if self.a == self.b:
+            raise ValueError(f"self loops are not allowed ({self.a})")
+        if self.a > self.b:
+            lo, hi = self.b, self.a
+            object.__setattr__(self, "a", lo)
+            object.__setattr__(self, "b", hi)
+
+    @staticmethod
+    def of(u: NodeId, v: NodeId) -> "EdgeKey":
+        if u == v:
+            raise ValueError(f"self loops are not allowed ({u})")
+        lo, hi = (u, v) if u < v else (v, u)
+        return EdgeKey(lo, hi)
+
+    def other(self, node: NodeId) -> NodeId:
+        """Return the endpoint different from ``node``."""
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise ValueError(f"node {node} is not an endpoint of {self}")
+
+    def endpoints(self) -> Tuple[NodeId, NodeId]:
+        return (self.a, self.b)
+
+    def __iter__(self):
+        return iter((self.a, self.b))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{{{self.a}, {self.b}}}"
+
+
+@dataclass(frozen=True)
+class EdgeParams:
+    """Per-edge uncertainty, detection delay and message delay bound."""
+
+    epsilon: float = 1.0
+    tau: float = 0.5
+    delay: float = 2.0
+
+    def __post_init__(self):
+        if self.epsilon < 0.0:
+            raise ValueError(f"epsilon must be non-negative, got {self.epsilon}")
+        if self.tau < 0.0:
+            raise ValueError(f"tau must be non-negative, got {self.tau}")
+        if self.delay < 0.0:
+            raise ValueError(f"delay must be non-negative, got {self.delay}")
+
+    def scaled(self, factor: float) -> "EdgeParams":
+        """Return parameters scaled by ``factor`` (used for heterogeneity)."""
+        if factor <= 0.0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return EdgeParams(
+            epsilon=self.epsilon * factor,
+            tau=self.tau * factor,
+            delay=self.delay * factor,
+        )
+
+
+DEFAULT_EDGE_PARAMS = EdgeParams()

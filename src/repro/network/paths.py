@@ -1,0 +1,180 @@
+"""Weighted paths and distances over the estimate graph.
+
+The gradient skew bound is expressed in terms of the *weight* of a path,
+``kappa_p = sum_e kappa_e`` (or the uncertainty ``epsilon_p = sum_e epsilon_e``
+for lower bounds).  This module computes shortest weighted paths and distances
+under a caller-supplied edge weight function.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .dynamic_graph import DynamicGraph, GraphError
+from .edge import NodeId
+
+EdgeWeight = Callable[[NodeId, NodeId], float]
+
+
+def epsilon_weight(graph: DynamicGraph) -> EdgeWeight:
+    """Weight function returning the estimate uncertainty of each edge."""
+
+    def weight(u: NodeId, v: NodeId) -> float:
+        return graph.edge_params(u, v).epsilon
+
+    return weight
+
+
+def kappa_weight(graph: DynamicGraph, params) -> EdgeWeight:
+    """Weight function returning the algorithm weight ``kappa_e`` of each edge."""
+
+    def weight(u: NodeId, v: NodeId) -> float:
+        edge = graph.edge_params(u, v)
+        return params.kappa_for(edge.epsilon, edge.tau)
+
+    return weight
+
+
+def hop_weight(_graph: DynamicGraph) -> EdgeWeight:
+    """Weight function assigning unit weight to every edge."""
+
+    def weight(_u: NodeId, _v: NodeId) -> float:
+        return 1.0
+
+    return weight
+
+
+def path_weight(path: Sequence[NodeId], weight: EdgeWeight) -> float:
+    """Total weight of an explicit path (0 for a single-node path)."""
+    if len(path) < 1:
+        raise GraphError("a path needs at least one node")
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        total += weight(u, v)
+    return total
+
+
+def path_exists(graph: DynamicGraph, path: Sequence[NodeId]) -> bool:
+    """True when every consecutive pair of the path is an undirected edge."""
+    return all(graph.has_edge(u, v) for u, v in zip(path, path[1:]))
+
+
+def shortest_distances(
+    graph: DynamicGraph,
+    source: NodeId,
+    weight: Optional[EdgeWeight] = None,
+) -> Dict[NodeId, float]:
+    """Dijkstra distances from ``source`` over the symmetric edge set."""
+    if weight is None:
+        weight = epsilon_weight(graph)
+    if not graph.has_node(source):
+        raise GraphError(f"unknown node {source}")
+    dist: Dict[NodeId, float] = {source: 0.0}
+    visited: Dict[NodeId, bool] = {}
+    heap: List[Tuple[float, NodeId]] = [(0.0, source)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if visited.get(node):
+            continue
+        visited[node] = True
+        for other in graph.symmetric_neighbors(node):
+            w = weight(node, other)
+            if w < 0.0:
+                raise GraphError(f"negative edge weight on ({node}, {other})")
+            nd = d + w
+            if nd < dist.get(other, float("inf")):
+                dist[other] = nd
+                heapq.heappush(heap, (nd, other))
+    return dist
+
+
+def shortest_path(
+    graph: DynamicGraph,
+    source: NodeId,
+    target: NodeId,
+    weight: Optional[EdgeWeight] = None,
+) -> List[NodeId]:
+    """One shortest weighted path from ``source`` to ``target``."""
+    if weight is None:
+        weight = epsilon_weight(graph)
+    if not graph.has_node(source) or not graph.has_node(target):
+        raise GraphError("unknown endpoint")
+    dist: Dict[NodeId, float] = {source: 0.0}
+    prev: Dict[NodeId, NodeId] = {}
+    visited: Dict[NodeId, bool] = {}
+    heap: List[Tuple[float, NodeId]] = [(0.0, source)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if visited.get(node):
+            continue
+        visited[node] = True
+        if node == target:
+            break
+        for other in graph.symmetric_neighbors(node):
+            nd = d + weight(node, other)
+            if nd < dist.get(other, float("inf")):
+                dist[other] = nd
+                prev[other] = node
+                heapq.heappush(heap, (nd, other))
+    if target not in dist:
+        raise GraphError(f"no path from {source} to {target}")
+    path = [target]
+    while path[-1] != source:
+        path.append(prev[path[-1]])
+    path.reverse()
+    return path
+
+
+def weighted_distance(
+    graph: DynamicGraph,
+    source: NodeId,
+    target: NodeId,
+    weight: Optional[EdgeWeight] = None,
+) -> float:
+    """Shortest weighted distance between two nodes."""
+    distances = shortest_distances(graph, source, weight)
+    if target not in distances:
+        raise GraphError(f"no path from {source} to {target}")
+    return distances[target]
+
+
+def weighted_diameter(
+    graph: DynamicGraph, weight: Optional[EdgeWeight] = None
+) -> float:
+    """Maximum over all pairs of the shortest weighted distance."""
+    if weight is None:
+        weight = epsilon_weight(graph)
+    best = 0.0
+    for source in graph.nodes:
+        distances = shortest_distances(graph, source, weight)
+        if len(distances) != graph.node_count:
+            raise GraphError("weighted_diameter requires a connected graph")
+        best = max(best, max(distances.values()))
+    return best
+
+
+def all_pairs_distances(
+    graph: DynamicGraph, weight: Optional[EdgeWeight] = None
+) -> Dict[Tuple[NodeId, NodeId], float]:
+    """All-pairs shortest weighted distances (symmetric, includes (u, u) = 0)."""
+    result: Dict[Tuple[NodeId, NodeId], float] = {}
+    for source in graph.nodes:
+        for target, d in shortest_distances(graph, source, weight).items():
+            result[(source, target)] = d
+    return result
+
+
+def pairs_at_distance(
+    graph: DynamicGraph,
+    lower: float,
+    upper: float,
+    weight: Optional[EdgeWeight] = None,
+) -> List[Tuple[NodeId, NodeId]]:
+    """All unordered pairs whose weighted distance lies in ``[lower, upper]``."""
+    pairs = []
+    distances = all_pairs_distances(graph, weight)
+    for (u, v), d in distances.items():
+        if u < v and lower <= d <= upper:
+            pairs.append((u, v))
+    return pairs

@@ -1,0 +1,149 @@
+"""Static topology generators.
+
+All generators return a :class:`~repro.network.dynamic_graph.DynamicGraph`
+whose edges are present (in both directions) from time zero.  The paper's
+lower bounds and worst cases are exhibited on line graphs; grids, rings, trees
+and random graphs exercise the algorithm on richer topologies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .dynamic_graph import DynamicGraph, GraphError
+from .edge import DEFAULT_EDGE_PARAMS, EdgeParams, NodeId
+
+
+def _new_graph(
+    n: int, edges: Iterable[Tuple[NodeId, NodeId]], params: EdgeParams
+) -> DynamicGraph:
+    if n < 1:
+        raise GraphError(f"a topology needs at least one node, got n={n}")
+    graph = DynamicGraph(range(n))
+    for u, v in edges:
+        graph.add_edge(u, v, params)
+    return graph
+
+
+def line(n: int, params: EdgeParams = DEFAULT_EDGE_PARAMS) -> DynamicGraph:
+    """Path graph ``0 - 1 - ... - (n-1)``; the paper's canonical worst case."""
+    return _new_graph(n, ((i, i + 1) for i in range(n - 1)), params)
+
+
+def ring(n: int, params: EdgeParams = DEFAULT_EDGE_PARAMS) -> DynamicGraph:
+    """Cycle over ``n >= 3`` nodes."""
+    if n < 3:
+        raise GraphError(f"a ring needs at least 3 nodes, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return _new_graph(n, edges, params)
+
+
+def star(n: int, params: EdgeParams = DEFAULT_EDGE_PARAMS) -> DynamicGraph:
+    """Star with center ``0`` and ``n - 1`` leaves."""
+    if n < 2:
+        raise GraphError(f"a star needs at least 2 nodes, got {n}")
+    return _new_graph(n, ((0, i) for i in range(1, n)), params)
+
+
+def complete(n: int, params: EdgeParams = DEFAULT_EDGE_PARAMS) -> DynamicGraph:
+    """Complete graph on ``n`` nodes."""
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return _new_graph(n, edges, params)
+
+
+def grid(
+    rows: int, cols: int, params: EdgeParams = DEFAULT_EDGE_PARAMS
+) -> DynamicGraph:
+    """``rows x cols`` grid; node ``(r, c)`` has index ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise GraphError(f"grid dimensions must be positive, got {rows}x{cols}")
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            index = r * cols + c
+            if c + 1 < cols:
+                edges.append((index, index + 1))
+            if r + 1 < rows:
+                edges.append((index, index + cols))
+    return _new_graph(rows * cols, edges, params)
+
+
+def binary_tree(depth: int, params: EdgeParams = DEFAULT_EDGE_PARAMS) -> DynamicGraph:
+    """Complete binary tree of the given depth (depth 0 is a single node)."""
+    if depth < 0:
+        raise GraphError(f"depth must be non-negative, got {depth}")
+    n = 2 ** (depth + 1) - 1
+    edges = []
+    for i in range(n):
+        left = 2 * i + 1
+        right = 2 * i + 2
+        if left < n:
+            edges.append((i, left))
+        if right < n:
+            edges.append((i, right))
+    return _new_graph(n, edges, params)
+
+
+def random_tree(
+    n: int,
+    params: EdgeParams = DEFAULT_EDGE_PARAMS,
+    seed: Optional[int] = None,
+) -> DynamicGraph:
+    """Uniform random recursive tree: node ``i`` attaches to a random earlier node."""
+    if n < 1:
+        raise GraphError(f"a tree needs at least one node, got {n}")
+    rng = random.Random(seed)
+    edges = [(rng.randrange(i), i) for i in range(1, n)]
+    return _new_graph(n, edges, params)
+
+
+def random_connected(
+    n: int,
+    extra_edge_probability: float = 0.1,
+    params: EdgeParams = DEFAULT_EDGE_PARAMS,
+    seed: Optional[int] = None,
+) -> DynamicGraph:
+    """A random connected graph: a random tree plus independent extra edges."""
+    if not 0.0 <= extra_edge_probability <= 1.0:
+        raise GraphError(
+            f"extra_edge_probability must lie in [0, 1], got {extra_edge_probability}"
+        )
+    rng = random.Random(seed)
+    graph = random_tree(n, params, seed=rng.randrange(2 ** 30))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if not graph.has_edge(i, j) and rng.random() < extra_edge_probability:
+                graph.add_edge(i, j, params)
+    return graph
+
+
+def from_edge_list(
+    n: int,
+    edges: Sequence[Tuple[NodeId, NodeId]],
+    params: EdgeParams = DEFAULT_EDGE_PARAMS,
+) -> DynamicGraph:
+    """Build a graph from an explicit undirected edge list."""
+    return _new_graph(n, edges, params)
+
+
+def hop_diameter(graph: DynamicGraph) -> int:
+    """Unweighted diameter of the symmetric graph (0 for a single node)."""
+    nodes = graph.nodes
+    adjacency = graph.adjacency()
+    best = 0
+    for source in nodes:
+        dist = {source: 0}
+        frontier = [source]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for other in adjacency[node]:
+                    if other not in dist:
+                        dist[other] = dist[node] + 1
+                        next_frontier.append(other)
+            frontier = next_frontier
+        if len(dist) != len(nodes):
+            raise GraphError("hop_diameter requires a connected graph")
+        best = max(best, max(dist.values()))
+    return best

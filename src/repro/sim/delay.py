@@ -1,0 +1,104 @@
+"""Message delay models.
+
+Every message sent over an edge ``{u, v}`` is delivered within the edge's
+delay bound ``T_{u,v}``; the adversary picks the actual delay.  A delay model
+maps ``(sender, receiver, time, bound)`` to a delay in ``[0, bound]``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from ..network.edge import NodeId
+
+
+class DelayError(ValueError):
+    """Raised when a delay model produces an out-of-range delay."""
+
+
+class DelayModel:
+    """Base class for message delay models."""
+
+    def delay(
+        self, sender: NodeId, receiver: NodeId, t: float, bound: float
+    ) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(delay: float, bound: float) -> float:
+        if delay < 0.0 or delay > bound + 1e-12:
+            raise DelayError(f"delay {delay} outside [0, {bound}]")
+        return min(delay, bound)
+
+
+class ZeroDelay(DelayModel):
+    """Messages arrive instantaneously."""
+
+    def delay(self, sender: NodeId, receiver: NodeId, t: float, bound: float) -> float:
+        return 0.0
+
+
+class FixedFractionDelay(DelayModel):
+    """Every message takes ``fraction * bound`` time."""
+
+    def __init__(self, fraction: float = 0.5):
+        if not 0.0 <= fraction <= 1.0:
+            raise DelayError(f"fraction must lie in [0, 1], got {fraction}")
+        self.fraction = float(fraction)
+
+    def delay(self, sender: NodeId, receiver: NodeId, t: float, bound: float) -> float:
+        return self._check(self.fraction * bound, bound)
+
+
+class UniformRandomDelay(DelayModel):
+    """Delays drawn uniformly from ``[low_fraction, high_fraction] * bound``."""
+
+    def __init__(
+        self,
+        low_fraction: float = 0.0,
+        high_fraction: float = 1.0,
+        seed: Optional[int] = None,
+    ):
+        if not 0.0 <= low_fraction <= high_fraction <= 1.0:
+            raise DelayError(
+                "need 0 <= low_fraction <= high_fraction <= 1, got "
+                f"({low_fraction}, {high_fraction})"
+            )
+        self.low_fraction = float(low_fraction)
+        self.high_fraction = float(high_fraction)
+        self._rng = random.Random(seed)
+
+    def delay(self, sender: NodeId, receiver: NodeId, t: float, bound: float) -> float:
+        fraction = self._rng.uniform(self.low_fraction, self.high_fraction)
+        return self._check(fraction * bound, bound)
+
+
+class DirectionalDelay(DelayModel):
+    """Adversarial strategy: maximal delay one way, minimal the other.
+
+    Messages from lower-id to higher-id nodes take the full bound, the reverse
+    direction is instantaneous.  Combined with the shifting argument this is
+    how the ``Omega(D)`` global-skew lower bound hides skew from the
+    algorithm.
+    """
+
+    def __init__(self, slow_towards_higher: bool = True):
+        self.slow_towards_higher = bool(slow_towards_higher)
+
+    def delay(self, sender: NodeId, receiver: NodeId, t: float, bound: float) -> float:
+        towards_higher = receiver > sender
+        slow = towards_higher == self.slow_towards_higher
+        return self._check(bound if slow else 0.0, bound)
+
+
+class CallableDelay(DelayModel):
+    """Wrap an arbitrary function ``f(sender, receiver, t, bound) -> delay``."""
+
+    def __init__(self, fn: Callable[[NodeId, NodeId, float, float], float]):
+        if not callable(fn):
+            raise DelayError("CallableDelay needs a callable")
+        self._fn = fn
+
+    def delay(self, sender: NodeId, receiver: NodeId, t: float, bound: float) -> float:
+        return self._check(self._fn(sender, receiver, t, bound), bound)

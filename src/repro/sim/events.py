@@ -1,0 +1,47 @@
+"""Event primitives for the simulation scheduler."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class EventError(ValueError):
+    """Raised on invalid event operations."""
+
+
+_counter = itertools.count()
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback scheduled at an absolute simulation time.
+
+    Events compare by ``(time, sequence)`` so that ties resolve in insertion
+    order, which keeps runs deterministic.
+    """
+
+    time: float
+    sequence: int = field(compare=True)
+    callback: Callable[[float], None] = field(compare=False)
+    description: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def fire(self) -> None:
+        if not self.cancelled:
+            self.callback(self.time)
+
+
+def make_event(
+    time: float, callback: Callable[[float], None], description: str = ""
+) -> ScheduledEvent:
+    """Create a :class:`ScheduledEvent` with a fresh sequence number."""
+    if time < 0.0:
+        raise EventError(f"event times must be non-negative, got {time}")
+    if not callable(callback):
+        raise EventError("event callback must be callable")
+    return ScheduledEvent(time, next(_counter), callback, description)

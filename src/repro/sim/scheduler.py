@@ -1,0 +1,82 @@
+"""A deterministic time-ordered event scheduler (binary heap)."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from .events import EventError, ScheduledEvent, make_event
+
+
+class EventScheduler:
+    """Priority queue of :class:`ScheduledEvent` objects."""
+
+    def __init__(self):
+        self._heap: List[ScheduledEvent] = []
+        self._fired = 0
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def fired_count(self) -> int:
+        """Number of events fired so far (cancelled events excluded)."""
+        return self._fired
+
+    def schedule(
+        self, time: float, callback: Callable[[float], None], description: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``callback(time)`` to run at the given absolute time."""
+        event = make_event(time, callback, description)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending (non-cancelled) event, or ``None``."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop_due(self, time: float) -> List[ScheduledEvent]:
+        """Pop every pending event with ``event.time <= time`` (in order)."""
+        due: List[ScheduledEvent] = []
+        epsilon = 1e-12
+        while self._heap and self._heap[0].time <= time + epsilon:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                due.append(event)
+        return due
+
+    def run_due(self, time: float) -> int:
+        """Fire every due event; return how many callbacks ran.
+
+        Callbacks may schedule further events; newly scheduled events that are
+        themselves already due at ``time`` fire within the same call, so a
+        chain of zero-delay follow-ups completes before the simulation step
+        finishes.
+        """
+        fired = 0
+        guard = 0
+        while True:
+            due = self.pop_due(time)
+            if not due:
+                break
+            for event in due:
+                event.fire()
+                fired += 1
+                self._fired += 1
+            guard += 1
+            if guard > 10000:
+                raise EventError(
+                    "more than 10000 rounds of zero-delay events at time "
+                    f"{time}; a callback is probably rescheduling itself"
+                )
+        return fired
+
+    def clear(self) -> None:
+        self._heap.clear()
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,111 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import pytest
+
+from repro.core.interfaces import NodeAPI
+from repro.core.parameters import Parameters
+from repro.network.edge import EdgeParams, NodeId
+from repro.network import topology
+
+
+@pytest.fixture
+def params() -> Parameters:
+    """Standard parameters used across the tests (sigma ~ 4.95 >= 3)."""
+    return Parameters(rho=0.01, mu=0.1)
+
+
+@pytest.fixture
+def tight_params() -> Parameters:
+    """Low-drift parameters (large sigma)."""
+    return Parameters(rho=1e-3, mu=0.1)
+
+
+@pytest.fixture
+def edge_params() -> EdgeParams:
+    return EdgeParams(epsilon=1.0, tau=0.5, delay=2.0)
+
+
+@pytest.fixture
+def line5(edge_params) -> "DynamicGraph":
+    return topology.line(5, edge_params)
+
+
+class FakeNodeAPI(NodeAPI):
+    """A scriptable NodeAPI for unit-testing algorithms without an engine."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        *,
+        edge_params: Optional[EdgeParams] = None,
+    ):
+        self._node_id = node_id
+        self.time = 0.0
+        self.hardware_value = 0.0
+        self.logical_value = 0.0
+        self.neighbor_set: Set[NodeId] = set()
+        self.estimates: Dict[NodeId, float] = {}
+        self.errors: Dict[NodeId, float] = {}
+        self.edge_parameters: Dict[NodeId, EdgeParams] = {}
+        self.default_edge_params = edge_params or EdgeParams()
+        self.sent: List[Tuple[NodeId, object]] = []
+        self.scheduled: List[Tuple[float, Callable[[float], None]]] = []
+
+    # -- NodeAPI -------------------------------------------------------
+    @property
+    def node_id(self) -> NodeId:
+        return self._node_id
+
+    def now(self) -> float:
+        return self.time
+
+    def hardware(self) -> float:
+        return self.hardware_value
+
+    def logical(self) -> float:
+        return self.logical_value
+
+    def neighbors(self) -> Set[NodeId]:
+        return set(self.neighbor_set)
+
+    def estimate(self, neighbor: NodeId) -> Optional[float]:
+        return self.estimates.get(neighbor)
+
+    def estimate_error(self, neighbor: NodeId) -> float:
+        return self.errors.get(neighbor, self.edge_params(neighbor).epsilon)
+
+    def edge_params(self, neighbor: NodeId) -> EdgeParams:
+        return self.edge_parameters.get(neighbor, self.default_edge_params)
+
+    def send(self, neighbor: NodeId, payload: object) -> bool:
+        if neighbor not in self.neighbor_set:
+            return False
+        self.sent.append((neighbor, payload))
+        return True
+
+    def schedule(self, delay: float, callback: Callable[[float], None]) -> None:
+        self.scheduled.append((self.time + delay, callback))
+
+    # -- test helpers ---------------------------------------------------
+    def advance(self, dt: float, rate: float = 1.0, multiplier: float = 1.0) -> None:
+        """Advance the fake clocks by ``dt`` at the given rates."""
+        self.time += dt
+        self.hardware_value += rate * dt
+        self.logical_value += rate * multiplier * dt
+
+    def fire_due(self, up_to: float) -> int:
+        """Fire scheduled callbacks whose time has been reached."""
+        due = [(t, cb) for (t, cb) in self.scheduled if t <= up_to + 1e-12]
+        self.scheduled = [(t, cb) for (t, cb) in self.scheduled if t > up_to + 1e-12]
+        for t, cb in sorted(due, key=lambda item: item[0]):
+            cb(t)
+        return len(due)
+
+
+@pytest.fixture
+def fake_api() -> FakeNodeAPI:
+    return FakeNodeAPI(0)

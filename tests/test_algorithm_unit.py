@@ -1,0 +1,269 @@
+"""Unit tests for the AOPT algorithm class, driven through a fake NodeAPI."""
+
+import pytest
+
+from repro.core.algorithm import AOPT, AOPTConfig, aopt_factory
+from repro.core import insertion as insertion_mod
+from repro.core.neighbor_sets import FULLY_INSERTED
+from repro.core.parameters import Parameters
+from repro.core.skew_estimates import StaticGlobalSkewEstimate
+from repro.estimate.messages import ClockBroadcast, InsertEdgeMessage
+from repro.network.edge import EdgeParams
+
+from conftest import FakeNodeAPI
+
+
+def make_config(params, *, global_skew=50.0, max_level=4, immediate=False):
+    return AOPTConfig(
+        params=params,
+        global_skew=StaticGlobalSkewEstimate(global_skew),
+        max_level=max_level,
+        broadcast_interval=1.0,
+        insertion_duration=insertion_mod.scaled_insertion_duration(0.01),
+        immediate_insertion=immediate,
+    )
+
+
+def make_node(params, node_id=0, **kwargs):
+    config = make_config(params, **kwargs)
+    algorithm = AOPT(config)
+    api = FakeNodeAPI(node_id, edge_params=EdgeParams(epsilon=1.0, tau=0.5, delay=2.0))
+    algorithm.bind(api)
+    return algorithm, api
+
+
+class TestConfig:
+    def test_for_bound_derives_levels(self, params):
+        config = AOPTConfig.for_bound(params, 100.0, kappa_min=4.0)
+        assert config.max_level == params.levels_for(100.0, 4.0)
+
+    def test_invalid_max_level_rejected(self, params):
+        with pytest.raises(ValueError):
+            AOPTConfig(
+                params=params,
+                global_skew=StaticGlobalSkewEstimate(10.0),
+                max_level=0,
+            )
+
+    def test_invalid_broadcast_interval_rejected(self, params):
+        with pytest.raises(ValueError):
+            AOPTConfig(
+                params=params,
+                global_skew=StaticGlobalSkewEstimate(10.0),
+                max_level=2,
+                broadcast_interval=0.0,
+            )
+
+    def test_factory_builds_independent_instances(self, params):
+        factory = aopt_factory(make_config(params))
+        a, b = factory(0), factory(1)
+        assert a is not b
+        assert isinstance(a, AOPT)
+
+
+class TestStartupAndNeighbors:
+    def test_initial_neighbors_fully_inserted(self, params):
+        algorithm, api = make_node(params)
+        api.neighbor_set = {1, 2}
+        algorithm.on_start(0.0, [1, 2])
+        assert algorithm.neighbor_level(1) == FULLY_INSERTED
+        assert algorithm.neighbor_level(2) == FULLY_INSERTED
+
+    def test_discovered_edge_starts_at_level_zero(self, params):
+        algorithm, api = make_node(params)
+        api.neighbor_set = {3}
+        algorithm.on_edge_discovered(1.0, 3)
+        assert algorithm.neighbor_level(3) == 0
+
+    def test_edge_loss_removes_all_state(self, params):
+        algorithm, api = make_node(params)
+        api.neighbor_set = {1}
+        algorithm.on_start(0.0, [1])
+        algorithm.on_edge_lost(5.0, 1)
+        assert algorithm.neighbor_level(1) is None
+        assert algorithm.insertion_schedule(1) is None
+
+    def test_leader_schedules_handshake_check(self, params):
+        algorithm, api = make_node(params, node_id=0)
+        api.neighbor_set = {5}
+        algorithm.on_edge_discovered(1.0, 5)
+        assert len(api.scheduled) == 1
+
+    def test_follower_does_not_schedule_handshake(self, params):
+        algorithm, api = make_node(params, node_id=9)
+        api.neighbor_set = {5}
+        algorithm.on_edge_discovered(1.0, 5)
+        assert api.scheduled == []
+
+    def test_immediate_insertion_mode(self, params):
+        algorithm, api = make_node(params, immediate=True)
+        api.neighbor_set = {5}
+        algorithm.on_edge_discovered(1.0, 5)
+        assert algorithm.levels.is_fully_inserted(5)
+
+
+class TestHandshake:
+    def test_leader_sends_insertedge_after_wait(self, params):
+        algorithm, api = make_node(params, node_id=0)
+        api.neighbor_set = {5}
+        algorithm.on_edge_discovered(0.0, 5)
+        wait = insertion_mod.leader_wait(params, api.edge_params(5))
+        api.advance(wait + 0.1)
+        api.fire_due(api.time)
+        assert len(api.sent) == 1
+        neighbor, message = api.sent[0]
+        assert neighbor == 5
+        assert isinstance(message, InsertEdgeMessage)
+        assert algorithm.insertion_schedule(5) is not None
+
+    def test_leader_aborts_if_edge_disappeared(self, params):
+        algorithm, api = make_node(params, node_id=0)
+        api.neighbor_set = {5}
+        algorithm.on_edge_discovered(0.0, 5)
+        wait = insertion_mod.leader_wait(params, api.edge_params(5))
+        algorithm.on_edge_lost(1.0, 5)
+        api.neighbor_set = set()
+        api.advance(wait + 0.1)
+        api.fire_due(api.time)
+        assert api.sent == []
+        assert algorithm.insertion_schedule(5) is None
+
+    def test_leader_aborts_if_edge_flapped(self, params):
+        algorithm, api = make_node(params, node_id=0)
+        api.neighbor_set = {5}
+        algorithm.on_edge_discovered(0.0, 5)
+        wait = insertion_mod.leader_wait(params, api.edge_params(5))
+        # The edge drops and reappears shortly before the check fires.
+        algorithm.on_edge_lost(wait / 2, 5)
+        algorithm.on_edge_discovered(wait - 0.1, 5)
+        api.advance(wait + 0.05)
+        api.fire_due(api.time)
+        assert api.sent == []
+
+    def test_follower_installs_schedule_from_message(self, params):
+        algorithm, api = make_node(params, node_id=9)
+        api.neighbor_set = {5}
+        algorithm.on_edge_discovered(0.0, 5)
+        message = InsertEdgeMessage(
+            edge=(5, 9), insertion_anchor=80.0, global_skew_estimate=50.0, max_estimate=0.0
+        )
+        api.advance(5.0)
+        algorithm.on_message(5.0, 5, message)
+        assert len(api.scheduled) == 1
+        api.advance(insertion_mod.follower_wait(params, api.edge_params(5)) + 0.1)
+        api.fire_due(api.time)
+        schedule = algorithm.insertion_schedule(5)
+        assert schedule is not None
+        assert schedule.anchor >= 80.0
+
+    def test_leader_and_follower_agree_on_times(self, params):
+        leader, leader_api = make_node(params, node_id=0)
+        follower, follower_api = make_node(params, node_id=5)
+        leader_api.neighbor_set = {5}
+        follower_api.neighbor_set = {0}
+        leader.on_edge_discovered(0.0, 5)
+        follower.on_edge_discovered(0.2, 0)
+        wait = insertion_mod.leader_wait(params, leader_api.edge_params(5))
+        leader_api.advance(wait + 0.1)
+        leader_api.fire_due(leader_api.time)
+        _, message = leader_api.sent[0]
+        follower_api.advance(wait + 1.0)
+        follower.on_message(follower_api.time, 0, message)
+        follower_api.advance(insertion_mod.follower_wait(params, follower_api.edge_params(0)) + 0.1)
+        follower_api.fire_due(follower_api.time)
+        leader_schedule = leader.insertion_schedule(5)
+        follower_schedule = follower.insertion_schedule(0)
+        assert follower_schedule is not None
+        assert leader_schedule.level_times == follower_schedule.level_times
+
+
+class TestControl:
+    def test_slow_by_default(self, params):
+        algorithm, api = make_node(params)
+        decision = algorithm.control(0.0)
+        assert decision.multiplier == 1.0
+        assert algorithm.mode() == "slow"
+
+    def test_fast_when_neighbor_ahead(self, params):
+        algorithm, api = make_node(params)
+        api.neighbor_set = {1}
+        algorithm.on_start(0.0, [1])
+        kappa = params.kappa_for(1.0, 0.5)
+        api.logical_value = 10.0
+        api.hardware_value = 10.0
+        api.estimates = {1: 10.0 + 2 * kappa}
+        decision = algorithm.control(0.0)
+        assert decision.multiplier == pytest.approx(1 + params.mu)
+        assert algorithm.mode() == "fast"
+        assert algorithm.last_trigger().mode == "fast"
+
+    def test_slow_when_neighbor_behind(self, params):
+        algorithm, api = make_node(params)
+        api.neighbor_set = {1}
+        algorithm.on_start(0.0, [1])
+        kappa = params.kappa_for(1.0, 0.5)
+        api.logical_value = 20.0
+        api.hardware_value = 20.0
+        api.estimates = {1: 20.0 - 2 * kappa}
+        algorithm.max_tracker.observe_remote(25.0)  # would otherwise push fast
+        decision = algorithm.control(0.0)
+        assert decision.multiplier == 1.0
+        assert algorithm.last_trigger().mode == "slow"
+
+    def test_max_estimate_pulls_lagging_node_fast(self, params):
+        algorithm, api = make_node(params)
+        algorithm.max_tracker.observe_remote(5.0)
+        decision = algorithm.control(0.0)
+        assert decision.multiplier == pytest.approx(1 + params.mu)
+
+    def test_never_jumps(self, params):
+        algorithm, api = make_node(params)
+        algorithm.max_tracker.observe_remote(50.0)
+        decision = algorithm.control(0.0)
+        assert decision.jump_to is None
+
+    def test_broadcasts_periodically(self, params):
+        algorithm, api = make_node(params)
+        api.neighbor_set = {1}
+        algorithm.on_start(0.0, [1])
+        algorithm.control(0.0)
+        assert len([p for _, p in api.sent if isinstance(p, ClockBroadcast)]) == 1
+        # No second broadcast before the interval elapses.
+        api.advance(0.5)
+        algorithm.control(0.5)
+        assert len([p for _, p in api.sent if isinstance(p, ClockBroadcast)]) == 1
+        api.advance(0.6)
+        algorithm.control(1.1)
+        assert len([p for _, p in api.sent if isinstance(p, ClockBroadcast)]) == 2
+
+    def test_broadcast_carries_max_estimate(self, params):
+        algorithm, api = make_node(params)
+        api.neighbor_set = {1}
+        algorithm.on_start(0.0, [1])
+        algorithm.max_tracker.observe_remote(42.0)
+        algorithm.control(0.0)
+        _, payload = api.sent[0]
+        assert payload.max_estimate >= 42.0
+
+    def test_clock_broadcast_updates_max_estimate(self, params):
+        algorithm, api = make_node(params)
+        algorithm.on_message(
+            0.0, 1, ClockBroadcast(sender=1, logical=5.0, max_estimate=9.0)
+        )
+        assert algorithm.max_estimate() >= 9.0
+
+    def test_insertion_levels_applied_when_logical_crosses_times(self, params):
+        algorithm, api = make_node(params, node_id=0)
+        api.neighbor_set = {5}
+        algorithm.on_edge_discovered(0.0, 5)
+        wait = insertion_mod.leader_wait(params, api.edge_params(5))
+        api.advance(wait + 0.1)
+        api.fire_due(api.time)
+        schedule = algorithm.insertion_schedule(5)
+        assert schedule is not None
+        # Jump the fake logical clock past the final insertion time.
+        api.logical_value = schedule.final_time + 1.0
+        api.hardware_value = api.logical_value
+        algorithm.control(api.time)
+        assert algorithm.levels.is_fully_inserted(5)
+        assert algorithm.insertion_schedule(5) is None

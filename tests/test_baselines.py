@@ -1,0 +1,169 @@
+"""Tests for the baseline algorithms."""
+
+import pytest
+
+from repro.baselines.hardware_only import HardwareOnly, hardware_only_factory
+from repro.baselines.immediate_insertion import (
+    ImmediateInsertionGradient,
+    immediate_insertion_factory,
+)
+from repro.baselines.max_algorithm import MaxPropagation, max_propagation_factory
+from repro.baselines.threshold_gradient import ThresholdGradient, threshold_gradient_factory
+from repro.core.algorithm import AOPTConfig
+from repro.core import insertion as insertion_mod
+from repro.core.skew_estimates import StaticGlobalSkewEstimate
+from repro.estimate.messages import ClockBroadcast
+from repro.network.edge import EdgeParams
+
+from conftest import FakeNodeAPI
+
+
+class TestHardwareOnly:
+    def test_always_slow(self):
+        algorithm = HardwareOnly()
+        algorithm.bind(FakeNodeAPI(0))
+        decision = algorithm.control(0.0)
+        assert decision.multiplier == 1.0
+        assert decision.jump_to is None
+
+    def test_factory(self):
+        assert isinstance(hardware_only_factory()(3), HardwareOnly)
+
+
+class TestMaxPropagation:
+    def _node(self, rho=0.01):
+        algorithm = MaxPropagation(rho)
+        api = FakeNodeAPI(0)
+        algorithm.bind(api)
+        return algorithm, api
+
+    def test_jumps_to_received_maximum(self):
+        algorithm, api = self._node()
+        api.neighbor_set = {1}
+        algorithm.on_start(0.0, [1])
+        algorithm.on_message(0.0, 1, ClockBroadcast(sender=1, logical=7.0, max_estimate=7.0))
+        decision = algorithm.control(0.0)
+        assert decision.jump_to == pytest.approx(7.0)
+        assert algorithm.mode() == "fast"
+
+    def test_no_jump_when_at_maximum(self):
+        algorithm, api = self._node()
+        api.logical_value = 10.0
+        api.hardware_value = 10.0
+        decision = algorithm.control(0.0)
+        assert decision.jump_to is None
+        assert algorithm.mode() == "slow"
+
+    def test_broadcasts_periodically(self):
+        algorithm, api = self._node()
+        api.neighbor_set = {1, 2}
+        algorithm.on_start(0.0, [1, 2])
+        algorithm.control(0.0)
+        assert len(api.sent) == 2
+        api.advance(0.5)
+        algorithm.control(0.5)
+        assert len(api.sent) == 2
+
+    def test_edge_discovery_and_loss(self):
+        algorithm, api = self._node()
+        algorithm.on_edge_discovered(0.0, 4)
+        api.neighbor_set = {4}
+        algorithm.control(0.0)
+        assert api.sent and api.sent[0][0] == 4
+        algorithm.on_edge_lost(1.0, 4)
+        api.sent.clear()
+        api.advance(2.0)
+        algorithm.control(2.0)
+        assert api.sent == []
+
+    def test_invalid_broadcast_interval(self):
+        with pytest.raises(ValueError):
+            MaxPropagation(0.01, broadcast_interval=0.0)
+
+    def test_factory(self):
+        assert isinstance(max_propagation_factory(0.01)(2), MaxPropagation)
+
+
+class TestThresholdGradient:
+    def _node(self, params, threshold=5.0, blocking=True):
+        algorithm = ThresholdGradient(params, threshold, blocking=blocking)
+        api = FakeNodeAPI(0)
+        algorithm.bind(api)
+        return algorithm, api
+
+    def test_fast_when_neighbor_ahead(self, params):
+        algorithm, api = self._node(params)
+        api.neighbor_set = {1}
+        algorithm.on_start(0.0, [1])
+        api.estimates = {1: 10.0}
+        decision = algorithm.control(0.0)
+        assert decision.multiplier == pytest.approx(1 + params.mu)
+
+    def test_blocking_neighbor_behind_forces_slow(self, params):
+        algorithm, api = self._node(params)
+        api.neighbor_set = {1, 2}
+        algorithm.on_start(0.0, [1, 2])
+        api.logical_value = 10.0
+        api.hardware_value = 10.0
+        api.estimates = {1: 20.0, 2: 2.0}
+        decision = algorithm.control(0.0)
+        assert decision.multiplier == 1.0
+
+    def test_non_blocking_variant_ignores_laggards(self, params):
+        algorithm, api = self._node(params, blocking=False)
+        api.neighbor_set = {1, 2}
+        algorithm.on_start(0.0, [1, 2])
+        api.logical_value = 10.0
+        api.hardware_value = 10.0
+        api.estimates = {1: 20.0, 2: 2.0}
+        decision = algorithm.control(0.0)
+        assert decision.multiplier == pytest.approx(1 + params.mu)
+
+    def test_max_estimate_fallback(self, params):
+        algorithm, api = self._node(params)
+        algorithm.max_tracker.observe_remote(3.0)
+        decision = algorithm.control(0.0)
+        assert decision.multiplier == pytest.approx(1 + params.mu)
+
+    def test_never_jumps(self, params):
+        algorithm, api = self._node(params)
+        algorithm.max_tracker.observe_remote(100.0)
+        assert algorithm.control(0.0).jump_to is None
+
+    def test_invalid_threshold(self, params):
+        with pytest.raises(ValueError):
+            ThresholdGradient(params, 0.0)
+
+    def test_factory(self, params):
+        algorithm = threshold_gradient_factory(params, 4.0, blocking=False)(1)
+        assert isinstance(algorithm, ThresholdGradient)
+        assert not algorithm.blocking
+
+
+class TestImmediateInsertion:
+    def _config(self, params, immediate=False):
+        return AOPTConfig(
+            params=params,
+            global_skew=StaticGlobalSkewEstimate(50.0),
+            max_level=4,
+            insertion_duration=insertion_mod.scaled_insertion_duration(0.01),
+            immediate_insertion=immediate,
+        )
+
+    def test_forces_immediate_flag(self, params):
+        algorithm = ImmediateInsertionGradient(self._config(params, immediate=False))
+        assert algorithm.config.immediate_insertion
+
+    def test_new_edges_fully_inserted_at_once(self, params):
+        algorithm = ImmediateInsertionGradient(self._config(params))
+        api = FakeNodeAPI(0, edge_params=EdgeParams())
+        algorithm.bind(api)
+        api.neighbor_set = {7}
+        algorithm.on_edge_discovered(0.0, 7)
+        assert algorithm.levels.is_fully_inserted(7)
+        assert api.scheduled == []
+
+    def test_factory(self, params):
+        algorithm = immediate_insertion_factory(self._config(params))(0)
+        assert isinstance(algorithm, ImmediateInsertionGradient)
+        assert algorithm.name == "ImmediateInsertion"

@@ -1,0 +1,130 @@
+"""Tests for repro.core.clocks."""
+
+import pytest
+
+from repro.core.clocks import (
+    ClockError,
+    HardwareClock,
+    LogicalClock,
+    rate_envelope_holds,
+)
+
+
+class TestHardwareClock:
+    def test_starts_at_initial_value(self):
+        assert HardwareClock(0.01).value == 0.0
+        assert HardwareClock(0.01, 5.0).value == 5.0
+
+    def test_rejects_negative_initial_value(self):
+        with pytest.raises(ClockError):
+            HardwareClock(0.01, -1.0)
+
+    def test_rejects_bad_rho(self):
+        with pytest.raises(ClockError):
+            HardwareClock(1.0)
+        with pytest.raises(ClockError):
+            HardwareClock(-0.1)
+
+    def test_advance_accumulates(self):
+        clock = HardwareClock(0.01)
+        clock.advance(1.0, 1.0)
+        clock.advance(2.0, 1.005)
+        assert clock.value == pytest.approx(1.0 + 2.01)
+        assert clock.time == pytest.approx(3.0)
+
+    def test_rate_outside_envelope_rejected(self):
+        clock = HardwareClock(0.01)
+        with pytest.raises(ClockError):
+            clock.advance(1.0, 1.02)
+        with pytest.raises(ClockError):
+            clock.advance(1.0, 0.98)
+
+    def test_rate_at_envelope_boundary_accepted(self):
+        clock = HardwareClock(0.01)
+        clock.advance(1.0, 1.01)
+        clock.advance(1.0, 0.99)
+        assert clock.value == pytest.approx(2.0)
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ClockError):
+            HardwareClock(0.01).advance(-1.0, 1.0)
+
+    def test_last_rate_recorded(self):
+        clock = HardwareClock(0.05)
+        clock.advance(1.0, 1.03)
+        assert clock.last_rate == pytest.approx(1.03)
+
+    def test_history_interpolation(self):
+        clock = HardwareClock(0.01, record_history=True)
+        clock.advance(1.0, 1.0)
+        clock.advance(1.0, 1.01)
+        assert clock.value_at(0.5) == pytest.approx(0.5)
+        assert clock.value_at(1.5) == pytest.approx(1.0 + 0.505)
+        assert clock.value_at(-1.0) == pytest.approx(0.0)
+        assert clock.value_at(10.0) == pytest.approx(clock.value)
+
+    def test_history_disabled_raises(self):
+        clock = HardwareClock(0.01)
+        with pytest.raises(ClockError):
+            clock.value_at(0.0)
+
+
+class TestLogicalClock:
+    def test_advance_with_multiplier(self):
+        clock = LogicalClock()
+        clock.advance(1.0, 1.0, 1.1)
+        assert clock.value == pytest.approx(1.1)
+        assert clock.last_multiplier == pytest.approx(1.1)
+
+    def test_negative_multiplier_rejected(self):
+        with pytest.raises(ClockError):
+            LogicalClock().advance(1.0, 1.0, -0.5)
+
+    def test_jump_requires_permission(self):
+        clock = LogicalClock()
+        with pytest.raises(ClockError):
+            clock.jump_to(1.0)
+
+    def test_jump_forward_allowed(self):
+        clock = LogicalClock(allow_jumps=True)
+        clock.advance(1.0, 1.0, 1.0)
+        clock.jump_to(5.0)
+        assert clock.value == pytest.approx(5.0)
+
+    def test_jump_backwards_rejected(self):
+        clock = LogicalClock(allow_jumps=True)
+        clock.advance(1.0, 1.0, 1.0)
+        with pytest.raises(ClockError):
+            clock.jump_to(0.5)
+
+    def test_monotone_over_many_steps(self):
+        clock = LogicalClock()
+        previous = 0.0
+        for step in range(100):
+            clock.advance(0.1, 1.0, 1.0 if step % 2 == 0 else 1.1)
+            assert clock.value >= previous
+            previous = clock.value
+
+    def test_history_records_jumps(self):
+        clock = LogicalClock(record_history=True, allow_jumps=True)
+        clock.advance(1.0, 1.0, 1.0)
+        clock.jump_to(3.0)
+        assert clock.history[-1] == (1.0, 3.0)
+
+
+class TestRateEnvelope:
+    def test_within_envelope(self):
+        assert rate_envelope_holds(10.0, 10.0, 0.99, 1.11)
+
+    def test_below_envelope(self):
+        assert not rate_envelope_holds(10.0, 9.0, 0.99, 1.11)
+
+    def test_above_envelope(self):
+        assert not rate_envelope_holds(10.0, 12.0, 0.99, 1.11)
+
+    def test_zero_elapsed(self):
+        assert rate_envelope_holds(0.0, 0.0, 0.99, 1.11)
+
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(ClockError):
+            rate_envelope_holds(-1.0, 0.0, 0.99, 1.11)

@@ -1,0 +1,150 @@
+"""Tests for repro.core.conditions (FC, SC, MC and Condition 4.3)."""
+
+import pytest
+
+from repro.core.conditions import (
+    TrueNeighborState,
+    condition_4_3_holds,
+    conditions_conflict,
+    fast_condition_requires_fast,
+    max_estimate_condition,
+    slow_condition_requires_slow,
+)
+from repro.core.triggers import NeighborView, fast_trigger_level, slow_trigger_level
+
+
+def state(params, neighbor, logical, *, level=5, epsilon=1.0, tau=0.5):
+    return TrueNeighborState(
+        neighbor=neighbor,
+        logical=logical,
+        kappa=params.kappa_for(epsilon, tau),
+        tau=tau,
+        level=level,
+    )
+
+
+@pytest.fixture
+def kappa(params):
+    return params.kappa_for(1.0, 0.5)
+
+
+class TestFastCondition:
+    def test_requires_fast_when_neighbor_ahead(self, params, kappa):
+        logical = 50.0
+        states = [state(params, 1, logical + kappa + 0.1)]
+        assert fast_condition_requires_fast(logical, states, params, 4) == 1
+
+    def test_not_required_when_blocked(self, params, kappa):
+        logical = 50.0
+        states = [
+            state(params, 1, logical + kappa + 0.1),
+            state(params, 2, logical - 2 * kappa),
+        ]
+        assert fast_condition_requires_fast(logical, states, params, 4) is None
+
+    def test_not_required_without_ahead_neighbor(self, params, kappa):
+        logical = 50.0
+        states = [state(params, 1, logical + 0.1)]
+        assert fast_condition_requires_fast(logical, states, params, 4) is None
+
+
+class TestSlowCondition:
+    def test_requires_slow_when_neighbor_behind(self, params, kappa):
+        logical = 50.0
+        states = [state(params, 1, logical - 2 * kappa)]
+        assert slow_condition_requires_slow(logical, states, params, 4, delta=0.01) == 1
+
+    def test_not_required_when_blocked(self, params, kappa):
+        logical = 50.0
+        states = [
+            state(params, 1, logical - 2 * kappa),
+            state(params, 2, logical + 3 * kappa),
+        ]
+        assert slow_condition_requires_slow(logical, states, params, 4, delta=0.01) is None
+
+    def test_delta_must_be_positive(self, params, kappa):
+        with pytest.raises(ValueError):
+            slow_condition_requires_slow(50.0, [], params, 4, delta=0.0)
+
+
+class TestLemma52:
+    """Lemma 5.2: whenever FC (resp. SC) holds, the trigger also fires."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_triggers_implement_conditions(self, params, seed):
+        import random
+
+        rng = random.Random(seed)
+        logical = 100.0
+        epsilon, tau = 1.0, 0.5
+        kappa = params.kappa_for(epsilon, tau)
+        delta = params.delta_for(kappa, epsilon, tau)
+        true_values = {
+            i: logical + rng.uniform(-5 * kappa, 5 * kappa) for i in range(1, 5)
+        }
+        levels = {i: rng.randint(1, 4) for i in true_values}
+        states = [
+            state(params, i, value, level=levels[i]) for i, value in true_values.items()
+        ]
+        # Estimates may be off by at most epsilon in either direction.
+        views = [
+            NeighborView(
+                neighbor=i,
+                estimate=max(0.0, true_values[i] + rng.uniform(-epsilon, epsilon)),
+                kappa=kappa,
+                epsilon=epsilon,
+                tau=tau,
+                delta=delta,
+                level=levels[i],
+            )
+            for i in true_values
+        ]
+        if fast_condition_requires_fast(logical, states, params, 4) is not None:
+            assert fast_trigger_level(logical, views, params, 4) is not None
+        if slow_condition_requires_slow(logical, states, params, 4, delta) is not None:
+            assert slow_trigger_level(logical, views, params, 4) is not None
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_conditions_never_conflict(self, params, seed):
+        import random
+
+        rng = random.Random(seed + 100)
+        logical = 100.0
+        kappa = params.kappa_for(1.0, 0.5)
+        delta = params.delta_for(kappa, 1.0, 0.5)
+        states = [
+            state(params, i, logical + rng.uniform(-6 * kappa, 6 * kappa), level=rng.randint(1, 4))
+            for i in range(1, 6)
+        ]
+        assert not conditions_conflict(logical, states, params, 4, delta)
+
+
+class TestMaxEstimateCondition:
+    def test_slow_required_at_max(self, params):
+        result = max_estimate_condition(10.0, 10.0, [9.0, 8.0], params)
+        assert result.requires_slow
+        assert not result.requires_fast
+
+    def test_fast_required_when_lagging_behind_everyone(self, params):
+        result = max_estimate_condition(10.0, 10.0 + params.iota, [11.0, 12.0], params)
+        assert result.requires_fast
+        assert not result.requires_slow
+
+    def test_nothing_required_in_middle(self, params):
+        result = max_estimate_condition(10.0, 11.0, [9.0, 12.0], params)
+        assert not result.requires_fast
+        assert not result.requires_slow
+
+
+class TestCondition43:
+    def test_holds(self):
+        assert condition_4_3_holds(9.5, 9.0, 10.0, dynamic_diameter=1.0)
+
+    def test_violated_when_above_true_max(self):
+        assert not condition_4_3_holds(11.0, 9.0, 10.0, dynamic_diameter=1.0)
+
+    def test_violated_when_below_own_clock(self):
+        assert not condition_4_3_holds(8.0, 9.0, 10.0, dynamic_diameter=1.0)
+
+    def test_violated_when_lagging_more_than_diameter(self):
+        assert not condition_4_3_holds(8.0, 7.0, 10.0, dynamic_diameter=1.0)

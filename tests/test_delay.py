@@ -1,0 +1,69 @@
+"""Tests for repro.sim.delay."""
+
+import pytest
+
+from repro.sim.delay import (
+    CallableDelay,
+    DelayError,
+    DirectionalDelay,
+    FixedFractionDelay,
+    UniformRandomDelay,
+    ZeroDelay,
+)
+
+
+class TestBasicModels:
+    def test_zero_delay(self):
+        assert ZeroDelay().delay(0, 1, 0.0, 5.0) == 0.0
+
+    def test_fixed_fraction(self):
+        assert FixedFractionDelay(0.5).delay(0, 1, 0.0, 4.0) == 2.0
+        assert FixedFractionDelay(1.0).delay(0, 1, 0.0, 4.0) == 4.0
+
+    def test_fixed_fraction_out_of_range(self):
+        with pytest.raises(DelayError):
+            FixedFractionDelay(1.5)
+
+    def test_uniform_random_within_bounds(self):
+        model = UniformRandomDelay(0.25, 0.75, seed=1)
+        for _ in range(50):
+            delay = model.delay(0, 1, 0.0, 8.0)
+            assert 2.0 <= delay <= 6.0
+
+    def test_uniform_random_deterministic(self):
+        a = UniformRandomDelay(seed=3)
+        b = UniformRandomDelay(seed=3)
+        assert [a.delay(0, 1, 0.0, 1.0) for _ in range(5)] == [
+            b.delay(0, 1, 0.0, 1.0) for _ in range(5)
+        ]
+
+    def test_uniform_random_bad_fractions(self):
+        with pytest.raises(DelayError):
+            UniformRandomDelay(0.8, 0.2)
+
+
+class TestDirectionalDelay:
+    def test_slow_towards_higher(self):
+        model = DirectionalDelay(slow_towards_higher=True)
+        assert model.delay(0, 5, 0.0, 3.0) == 3.0
+        assert model.delay(5, 0, 0.0, 3.0) == 0.0
+
+    def test_slow_towards_lower(self):
+        model = DirectionalDelay(slow_towards_higher=False)
+        assert model.delay(0, 5, 0.0, 3.0) == 0.0
+        assert model.delay(5, 0, 0.0, 3.0) == 3.0
+
+
+class TestCallableDelay:
+    def test_wraps_function(self):
+        model = CallableDelay(lambda s, r, t, bound: bound / 4.0)
+        assert model.delay(0, 1, 0.0, 8.0) == 2.0
+
+    def test_rejects_out_of_range_result(self):
+        model = CallableDelay(lambda s, r, t, bound: bound * 2.0)
+        with pytest.raises(DelayError):
+            model.delay(0, 1, 0.0, 8.0)
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(DelayError):
+            CallableDelay("not callable")

@@ -1,0 +1,88 @@
+"""Tests for repro.network.diameter."""
+
+import math
+
+import pytest
+
+from repro.network.diameter import DiameterTracker, static_diameter_lower_bound
+
+
+class TestDiameterTracker:
+    def test_initial_state(self):
+        tracker = DiameterTracker([0, 1, 2], rho=0.01)
+        assert tracker.knowledge_error(0, 0) == 0.0
+        assert tracker.knowledge_error(0, 1) == math.inf
+        assert not tracker.is_finite()
+
+    def test_rejects_bad_rho(self):
+        with pytest.raises(ValueError):
+            DiameterTracker([0], rho=1.5)
+
+    def test_rejects_empty_nodes(self):
+        with pytest.raises(ValueError):
+            DiameterTracker([], rho=0.01)
+
+    def test_message_transfers_knowledge(self):
+        tracker = DiameterTracker([0, 1], rho=0.01)
+        tracker.record_message(0, 1, delay_uncertainty=1.0, transit_time=0.5)
+        error = tracker.knowledge_error(1, 0)
+        assert error == pytest.approx((1 - 0.01) * 1.0 + 2 * 0.01 * 0.5)
+
+    def test_knowledge_ages(self):
+        tracker = DiameterTracker([0, 1], rho=0.01)
+        tracker.record_message(0, 1, 1.0, 0.0)
+        before = tracker.knowledge_error(1, 0)
+        tracker.advance(10.0)
+        after = tracker.knowledge_error(1, 0)
+        assert after == pytest.approx(before + tracker.aging_rate() * 10.0)
+
+    def test_own_knowledge_never_ages(self):
+        tracker = DiameterTracker([0, 1], rho=0.01)
+        tracker.advance(100.0)
+        assert tracker.knowledge_error(0, 0) == 0.0
+
+    def test_transitive_propagation(self):
+        tracker = DiameterTracker([0, 1, 2], rho=0.01)
+        tracker.record_message(0, 1, 1.0, 0.5)
+        tracker.record_message(1, 2, 1.0, 0.5)
+        assert tracker.knowledge_error(2, 0) < math.inf
+        assert tracker.knowledge_error(2, 0) > tracker.knowledge_error(1, 0)
+
+    def test_better_message_improves_knowledge(self):
+        tracker = DiameterTracker([0, 1], rho=0.01)
+        tracker.record_message(0, 1, 2.0, 1.0)
+        worse = tracker.knowledge_error(1, 0)
+        tracker.record_message(0, 1, 0.5, 0.1)
+        assert tracker.knowledge_error(1, 0) < worse
+
+    def test_diameter_is_max_radius(self):
+        tracker = DiameterTracker([0, 1, 2], rho=0.01)
+        for sender, receiver in [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)]:
+            tracker.record_message(sender, receiver, 1.0, 0.5)
+        assert tracker.is_finite()
+        assert tracker.diameter() == pytest.approx(
+            max(tracker.radius(v) for v in tracker.nodes)
+        )
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            DiameterTracker([0], rho=0.01).advance(-1.0)
+
+    def test_unknown_nodes_rejected(self):
+        tracker = DiameterTracker([0, 1], rho=0.01)
+        with pytest.raises(ValueError):
+            tracker.record_message(0, 9, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            tracker.radius(9)
+
+
+class TestStaticLowerBound:
+    def test_half_of_sum(self):
+        assert static_diameter_lower_bound([1.0, 2.0, 3.0]) == 3.0
+
+    def test_empty_is_zero(self):
+        assert static_diameter_lower_bound([]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            static_diameter_lower_bound([1.0, -2.0])

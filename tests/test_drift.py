@@ -1,0 +1,155 @@
+"""Tests for repro.sim.drift."""
+
+import pytest
+
+from repro.sim.drift import (
+    ConstantDrift,
+    DriftError,
+    NoDrift,
+    RampAdversary,
+    RandomConstantDrift,
+    RandomWalkDrift,
+    SinusoidalDrift,
+    SurpriseSwapAdversary,
+    TwoGroupAdversary,
+    half_split,
+)
+
+RHO = 0.01
+NODES = list(range(8))
+
+
+def assert_within_envelope(model, nodes=NODES, times=(0.0, 1.0, 7.3, 100.0)):
+    for node in nodes:
+        for t in times:
+            rate = model.rate(node, t)
+            assert 1 - RHO - 1e-12 <= rate <= 1 + RHO + 1e-12
+
+
+class TestBasics:
+    def test_no_drift(self):
+        model = NoDrift(RHO)
+        assert model.rate(0, 5.0) == 1.0
+
+    def test_bad_rho_rejected(self):
+        with pytest.raises(DriftError):
+            NoDrift(1.5)
+
+    def test_clamp(self):
+        model = NoDrift(RHO)
+        assert model.clamp(2.0) == 1 + RHO
+        assert model.clamp(0.0) == 1 - RHO
+
+    def test_constant_drift(self):
+        model = ConstantDrift(RHO, {0: RHO, 1: -RHO})
+        assert model.rate(0, 0.0) == 1 + RHO
+        assert model.rate(1, 0.0) == 1 - RHO
+        assert model.rate(5, 0.0) == 1.0
+
+    def test_constant_drift_rejects_excessive_offset(self):
+        with pytest.raises(DriftError):
+            ConstantDrift(RHO, {0: 2 * RHO})
+
+    def test_random_constant_within_envelope(self):
+        assert_within_envelope(RandomConstantDrift(RHO, NODES, seed=1))
+
+    def test_random_constant_deterministic(self):
+        a = RandomConstantDrift(RHO, NODES, seed=5)
+        b = RandomConstantDrift(RHO, NODES, seed=5)
+        assert all(a.rate(n, 0.0) == b.rate(n, 0.0) for n in NODES)
+
+
+class TestRandomWalk:
+    def test_within_envelope(self):
+        assert_within_envelope(RandomWalkDrift(RHO, NODES, period=1.0, seed=2))
+
+    def test_rates_change_over_epochs(self):
+        model = RandomWalkDrift(RHO, NODES, period=1.0, seed=3)
+        early = model.rate(0, 0.5)
+        later = model.rate(0, 50.5)
+        assert early != later or any(
+            model.rate(n, 0.5) != model.rate(n, 50.5) for n in NODES
+        )
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(DriftError):
+            RandomWalkDrift(RHO, NODES, period=0.0)
+
+
+class TestTwoGroup:
+    def test_fast_and_slow_groups(self):
+        model = TwoGroupAdversary(RHO, [0, 1], [2, 3])
+        assert model.rate(0, 0.0) == 1 + RHO
+        assert model.rate(2, 0.0) == 1 - RHO
+        assert model.rate(7, 0.0) == 1.0
+
+    def test_overlap_rejected(self):
+        with pytest.raises(DriftError):
+            TwoGroupAdversary(RHO, [0, 1], [1, 2])
+
+    def test_swapping(self):
+        model = TwoGroupAdversary(RHO, [0], [1], swap_period=10.0)
+        assert model.rate(0, 5.0) == 1 + RHO
+        assert model.rate(0, 15.0) == 1 - RHO
+        assert model.rate(1, 15.0) == 1 + RHO
+
+    def test_bad_swap_period(self):
+        with pytest.raises(DriftError):
+            TwoGroupAdversary(RHO, [0], [1], swap_period=0.0)
+
+    def test_half_split(self):
+        first, second = half_split([0, 1, 2, 3, 4])
+        assert first == [0, 1]
+        assert second == [2, 3, 4]
+
+
+class TestRamp:
+    def test_extremes(self):
+        model = RampAdversary(RHO, NODES)
+        assert model.rate(NODES[0], 0.0) == pytest.approx(1 - RHO)
+        assert model.rate(NODES[-1], 0.0) == pytest.approx(1 + RHO)
+
+    def test_monotone_along_order(self):
+        model = RampAdversary(RHO, NODES)
+        rates = [model.rate(n, 0.0) for n in NODES]
+        assert rates == sorted(rates)
+
+    def test_unknown_node_neutral(self):
+        model = RampAdversary(RHO, NODES)
+        assert model.rate(99, 0.0) == 1.0
+
+    def test_single_node(self):
+        model = RampAdversary(RHO, [0])
+        assert model.rate(0, 0.0) == 1.0
+
+    def test_reversal(self):
+        model = RampAdversary(RHO, NODES, reverse_period=10.0)
+        assert model.rate(NODES[0], 5.0) == pytest.approx(1 - RHO)
+        assert model.rate(NODES[0], 15.0) == pytest.approx(1 + RHO)
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(DriftError):
+            RampAdversary(RHO, [])
+
+    def test_within_envelope(self):
+        assert_within_envelope(RampAdversary(RHO, NODES))
+
+
+class TestCompositeModels:
+    def test_surprise_swap(self):
+        model = SurpriseSwapAdversary(
+            RHO, NoDrift(RHO), TwoGroupAdversary(RHO, [0], [1]), switch_time=10.0
+        )
+        assert model.rate(0, 5.0) == 1.0
+        assert model.rate(0, 15.0) == 1 + RHO
+
+    def test_surprise_swap_negative_time_rejected(self):
+        with pytest.raises(DriftError):
+            SurpriseSwapAdversary(RHO, NoDrift(RHO), NoDrift(RHO), switch_time=-1.0)
+
+    def test_sinusoidal_within_envelope(self):
+        assert_within_envelope(SinusoidalDrift(RHO, period=30.0))
+
+    def test_sinusoidal_bad_period(self):
+        with pytest.raises(DriftError):
+            SinusoidalDrift(RHO, period=0.0)

@@ -1,0 +1,162 @@
+"""Tests for repro.network.dynamic_graph."""
+
+import pytest
+
+from repro.network.dynamic_graph import DynamicGraph, EdgeEvent, GraphError
+from repro.network.edge import EdgeParams
+
+
+@pytest.fixture
+def triangle():
+    graph = DynamicGraph(range(3))
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(0, 2)
+    return graph
+
+
+class TestConstruction:
+    def test_nodes_sorted_and_deduplicated(self):
+        graph = DynamicGraph([3, 1, 2, 1])
+        assert graph.nodes == [1, 2, 3]
+        assert graph.node_count == 3
+
+    def test_empty_node_set_rejected(self):
+        with pytest.raises(GraphError):
+            DynamicGraph([])
+
+    def test_has_node(self):
+        graph = DynamicGraph([0, 1])
+        assert graph.has_node(0)
+        assert not graph.has_node(5)
+
+
+class TestEdges:
+    def test_add_edge_creates_both_directions(self, triangle):
+        assert triangle.has_directed_edge(0, 1)
+        assert triangle.has_directed_edge(1, 0)
+        assert triangle.has_edge(0, 1)
+
+    def test_directed_edge_only_one_way(self):
+        graph = DynamicGraph(range(2))
+        graph.add_directed_edge(0, 1)
+        assert graph.has_directed_edge(0, 1)
+        assert not graph.has_directed_edge(1, 0)
+        assert not graph.has_edge(0, 1)
+
+    def test_neighbors_and_symmetric_neighbors(self):
+        graph = DynamicGraph(range(3))
+        graph.add_directed_edge(0, 1)
+        graph.add_edge(0, 2)
+        assert graph.neighbors(0) == {1, 2}
+        assert graph.symmetric_neighbors(0) == {2}
+
+    def test_remove_edge(self, triangle):
+        triangle.remove_edge(0, 1)
+        assert not triangle.has_edge(0, 1)
+        assert triangle.has_edge(1, 2)
+
+    def test_self_loop_rejected(self):
+        graph = DynamicGraph(range(2))
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1)
+
+    def test_unknown_node_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.add_edge(0, 9)
+        with pytest.raises(GraphError):
+            triangle.neighbors(9)
+
+    def test_edges_iterates_undirected_once(self, triangle):
+        assert triangle.edge_count() == 3
+        edges = {tuple(e) for e in triangle.edges()}
+        assert edges == {(0, 1), (1, 2), (0, 2)}
+
+    def test_directed_edges_listing(self):
+        graph = DynamicGraph(range(2))
+        graph.add_directed_edge(0, 1)
+        assert list(graph.directed_edges()) == [(0, 1)]
+
+
+class TestEdgeParams:
+    def test_default_params_returned(self, triangle):
+        assert triangle.edge_params(0, 1).epsilon == 1.0
+
+    def test_set_and_get_params(self, triangle):
+        custom = EdgeParams(epsilon=3.0, tau=1.0, delay=4.0)
+        triangle.set_edge_params(0, 1, custom)
+        assert triangle.edge_params(1, 0) == custom
+
+    def test_params_attached_on_add(self):
+        graph = DynamicGraph(range(2))
+        custom = EdgeParams(epsilon=2.0)
+        graph.add_edge(0, 1, custom)
+        assert graph.edge_params(0, 1) == custom
+        assert len(graph.known_edge_params()) == 1
+
+
+class TestSchedule:
+    def test_schedule_and_pop_events(self):
+        graph = DynamicGraph(range(3))
+        graph.schedule_edge_up(5.0, 0, 1)
+        graph.schedule_edge_down(7.0, 0, 1)
+        due = graph.pop_events_until(5.0)
+        assert len(due) == 2  # both directions of the "up"
+        assert all(e.kind == "up" for e in due)
+        assert len(graph.pending_events()) == 2
+
+    def test_events_sorted_by_time(self):
+        graph = DynamicGraph(range(3))
+        graph.schedule_edge_up(9.0, 1, 2)
+        graph.schedule_edge_up(2.0, 0, 1)
+        events = graph.pending_events()
+        assert events[0].time <= events[-1].time
+
+    def test_edge_up_skew_respects_tau(self):
+        graph = DynamicGraph(range(2))
+        graph.set_edge_params(0, 1, EdgeParams(tau=0.5))
+        graph.schedule_edge_up(1.0, 0, 1, skew=0.5)
+        with pytest.raises(GraphError):
+            graph.schedule_edge_up(1.0, 0, 1, skew=0.9)
+
+    def test_apply_event(self):
+        graph = DynamicGraph(range(2))
+        graph.apply_event(EdgeEvent(0.0, "up", 0, 1))
+        assert graph.has_directed_edge(0, 1)
+        graph.apply_event(EdgeEvent(1.0, "down", 0, 1))
+        assert not graph.has_directed_edge(0, 1)
+
+    def test_bad_event_kind_rejected(self):
+        with pytest.raises(GraphError):
+            EdgeEvent(0.0, "sideways", 0, 1)
+
+    def test_negative_event_time_rejected(self):
+        with pytest.raises(GraphError):
+            EdgeEvent(-1.0, "up", 0, 1)
+
+
+class TestStructure:
+    def test_connectivity(self, triangle):
+        assert triangle.is_connected()
+        graph = DynamicGraph(range(3))
+        graph.add_edge(0, 1)
+        assert not graph.is_connected()
+
+    def test_adjacency_copy(self, triangle):
+        adjacency = triangle.adjacency()
+        adjacency[0].clear()
+        assert triangle.symmetric_neighbors(0) == {1, 2}
+
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.remove_edge(0, 1)
+        assert triangle.has_edge(0, 1)
+        assert not clone.has_edge(0, 1)
+
+    def test_copy_preserves_schedule(self):
+        graph = DynamicGraph(range(2))
+        graph.schedule_edge_up(3.0, 0, 1)
+        clone = graph.copy()
+        assert len(clone.pending_events()) == 2
+        clone.pop_events_until(10.0)
+        assert len(graph.pending_events()) == 2

@@ -1,0 +1,115 @@
+"""Tests for repro.network.dynamics."""
+
+import pytest
+
+from repro.network import dynamics, topology
+from repro.network.dynamic_graph import GraphError
+from repro.network.edge import EdgeParams
+
+
+class TestEdgeInsertionScenario:
+    def test_new_edge_scheduled_not_present(self):
+        base = topology.line(5)
+        scenario = dynamics.with_edge_insertion(base, 0, 4, 20.0)
+        assert scenario.new_edge == (0, 4)
+        assert scenario.insertion_time == 20.0
+        assert not scenario.graph.has_edge(0, 4)
+        assert len(scenario.graph.pending_events()) == 2
+
+    def test_base_graph_not_mutated(self):
+        base = topology.line(5)
+        dynamics.with_edge_insertion(base, 0, 4, 20.0)
+        assert len(base.pending_events()) == 0
+
+    def test_existing_edge_rejected(self):
+        base = topology.line(5)
+        with pytest.raises(GraphError):
+            dynamics.with_edge_insertion(base, 0, 1, 20.0)
+
+    def test_negative_time_rejected(self):
+        base = topology.line(5)
+        with pytest.raises(GraphError):
+            dynamics.with_edge_insertion(base, 0, 4, -1.0)
+
+    def test_edge_appears_after_popping_events(self):
+        scenario = dynamics.with_edge_insertion(topology.line(4), 0, 3, 10.0)
+        graph = scenario.graph
+        for event in graph.pop_events_until(10.0):
+            graph.apply_event(event)
+        assert graph.has_edge(0, 3)
+
+    def test_detection_skew_creates_asymmetry(self):
+        base = topology.line(4, EdgeParams(tau=0.5))
+        scenario = dynamics.with_edge_insertion(base, 0, 3, 10.0, detection_skew=0.5)
+        graph = scenario.graph
+        for event in graph.pop_events_until(10.0):
+            graph.apply_event(event)
+        assert graph.has_directed_edge(0, 3)
+        assert not graph.has_directed_edge(3, 0)
+
+    def test_line_with_end_to_end_insertion(self):
+        scenario = dynamics.line_with_end_to_end_insertion(6, 15.0)
+        assert scenario.new_edge == (0, 5)
+        assert scenario.graph.has_edge(0, 1)
+
+    def test_line_insertion_minimum_size(self):
+        with pytest.raises(GraphError):
+            dynamics.line_with_end_to_end_insertion(2, 15.0)
+
+
+class TestPeriodicChurn:
+    def test_churn_schedules_events(self):
+        base = topology.line(6)
+        scenario = dynamics.periodic_churn(
+            base,
+            [(0, 3), (2, 5)],
+            period=10.0,
+            horizon=50.0,
+            seed=1,
+        )
+        assert len(scenario.pending_events()) > 0
+
+    def test_churn_does_not_touch_base_edges(self):
+        base = topology.line(6)
+        scenario = dynamics.periodic_churn(
+            base, [(0, 3)], period=10.0, horizon=100.0, seed=2
+        )
+        for event in scenario.pop_events_until(100.0):
+            scenario.apply_event(event)
+        assert all(scenario.has_edge(i, i + 1) for i in range(5))
+
+    def test_candidate_overlapping_base_rejected(self):
+        base = topology.line(6)
+        with pytest.raises(GraphError):
+            dynamics.periodic_churn(base, [(0, 1)], period=10.0, horizon=50.0)
+
+    def test_bad_period_rejected(self):
+        base = topology.line(6)
+        with pytest.raises(GraphError):
+            dynamics.periodic_churn(base, [(0, 3)], period=0.0, horizon=50.0)
+
+    def test_deterministic_with_seed(self):
+        base = topology.line(6)
+        a = dynamics.periodic_churn(base, [(0, 3), (1, 4)], period=5.0, horizon=40.0, seed=9)
+        b = dynamics.periodic_churn(base, [(0, 3), (1, 4)], period=5.0, horizon=40.0, seed=9)
+        assert [
+            (e.time, e.kind, e.source, e.target) for e in a.pending_events()
+        ] == [(e.time, e.kind, e.source, e.target) for e in b.pending_events()]
+
+
+class TestSlidingWindowLine:
+    def test_backbone_always_present(self):
+        graph = dynamics.sliding_window_line(6, window=2, shift_period=10.0, horizon=60.0)
+        for event in graph.pop_events_until(60.0):
+            graph.apply_event(event)
+        assert all(graph.has_edge(i, i + 1) for i in range(5))
+
+    def test_shortcuts_change_over_time(self):
+        graph = dynamics.sliding_window_line(8, window=3, shift_period=5.0, horizon=40.0)
+        assert len(graph.pending_events()) > 0
+
+    def test_minimum_sizes(self):
+        with pytest.raises(GraphError):
+            dynamics.sliding_window_line(2, window=2, shift_period=5.0, horizon=20.0)
+        with pytest.raises(GraphError):
+            dynamics.sliding_window_line(6, window=1, shift_period=5.0, horizon=20.0)

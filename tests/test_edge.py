@@ -1,0 +1,70 @@
+"""Tests for repro.network.edge."""
+
+import pytest
+
+from repro.network.edge import DEFAULT_EDGE_PARAMS, EdgeKey, EdgeParams
+
+
+class TestEdgeKey:
+    def test_canonical_ordering(self):
+        assert EdgeKey.of(3, 1) == EdgeKey.of(1, 3)
+        key = EdgeKey.of(5, 2)
+        assert (key.a, key.b) == (2, 5)
+
+    def test_constructor_normalizes(self):
+        key = EdgeKey(7, 2)
+        assert (key.a, key.b) == (2, 7)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeKey.of(4, 4)
+        with pytest.raises(ValueError):
+            EdgeKey(4, 4)
+
+    def test_other_endpoint(self):
+        key = EdgeKey.of(1, 3)
+        assert key.other(1) == 3
+        assert key.other(3) == 1
+        with pytest.raises(ValueError):
+            key.other(2)
+
+    def test_endpoints_and_iter(self):
+        key = EdgeKey.of(9, 4)
+        assert key.endpoints() == (4, 9)
+        assert list(key) == [4, 9]
+
+    def test_usable_as_dict_key(self):
+        mapping = {EdgeKey.of(1, 2): "x"}
+        assert mapping[EdgeKey.of(2, 1)] == "x"
+
+    def test_ordering(self):
+        assert EdgeKey.of(0, 1) < EdgeKey.of(0, 2) < EdgeKey.of(1, 2)
+
+
+class TestEdgeParams:
+    def test_defaults(self):
+        assert DEFAULT_EDGE_PARAMS.epsilon == 1.0
+        assert DEFAULT_EDGE_PARAMS.tau == 0.5
+        assert DEFAULT_EDGE_PARAMS.delay == 2.0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeParams(epsilon=-1.0)
+        with pytest.raises(ValueError):
+            EdgeParams(tau=-0.1)
+        with pytest.raises(ValueError):
+            EdgeParams(delay=-2.0)
+
+    def test_scaled(self):
+        scaled = EdgeParams(epsilon=1.0, tau=0.5, delay=2.0).scaled(2.0)
+        assert scaled.epsilon == 2.0
+        assert scaled.tau == 1.0
+        assert scaled.delay == 4.0
+
+    def test_scaled_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            EdgeParams().scaled(0.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_EDGE_PARAMS.epsilon = 5.0

@@ -1,0 +1,131 @@
+"""Tests for the oracle and broadcast estimate layers."""
+
+import pytest
+
+from repro.estimate.estimate_layer import EstimateLayerError
+from repro.estimate.message_layer import BroadcastEstimateLayer
+from repro.estimate.messages import ClockBroadcast
+from repro.estimate.oracle_layer import OracleEstimateLayer
+from repro.network import topology
+from repro.network.edge import EdgeParams
+
+
+@pytest.fixture
+def graph():
+    return topology.line(3, EdgeParams(epsilon=1.0, tau=0.5, delay=2.0))
+
+
+class TestOracleLayer:
+    def test_zero_strategy_exact(self, graph):
+        clocks = {0: 10.0, 1: 12.0, 2: 9.0}
+        layer = OracleEstimateLayer(graph, clocks.__getitem__, strategy="zero")
+        assert layer.estimate(0, 1, 0.0) == 12.0
+
+    def test_non_neighbor_returns_none(self, graph):
+        clocks = {0: 10.0, 1: 12.0, 2: 9.0}
+        layer = OracleEstimateLayer(graph, clocks.__getitem__)
+        assert layer.estimate(0, 2, 0.0) is None
+
+    def test_error_bound_matches_edge(self, graph):
+        layer = OracleEstimateLayer(graph, lambda n: 0.0)
+        assert layer.error_bound(0, 1) == 1.0
+
+    def test_unknown_strategy_rejected(self, graph):
+        with pytest.raises(EstimateLayerError):
+            OracleEstimateLayer(graph, lambda n: 0.0, strategy="bogus")
+
+    @pytest.mark.parametrize(
+        "strategy", ["uniform", "underestimate", "overestimate", "toward_observer"]
+    )
+    def test_inequality_1_holds(self, graph, strategy):
+        clocks = {0: 10.0, 1: 13.0, 2: 9.0}
+        layer = OracleEstimateLayer(graph, clocks.__getitem__, strategy=strategy, seed=4)
+        for observer, subject in [(0, 1), (1, 0), (1, 2), (2, 1)]:
+            estimate = layer.estimate(observer, subject, 0.0)
+            assert estimate is not None
+            assert abs(estimate - clocks[subject]) <= layer.error_bound(observer, subject) + 1e-12
+
+    def test_underestimate_is_below_truth(self, graph):
+        clocks = {0: 10.0, 1: 13.0, 2: 9.0}
+        layer = OracleEstimateLayer(graph, clocks.__getitem__, strategy="underestimate")
+        assert layer.estimate(0, 1, 0.0) == pytest.approx(12.0)
+
+    def test_overestimate_is_above_truth(self, graph):
+        clocks = {0: 10.0, 1: 13.0, 2: 9.0}
+        layer = OracleEstimateLayer(graph, clocks.__getitem__, strategy="overestimate")
+        assert layer.estimate(0, 1, 0.0) == pytest.approx(14.0)
+
+    def test_toward_observer_shrinks_apparent_skew(self, graph):
+        clocks = {0: 10.0, 1: 13.0, 2: 9.0}
+        layer = OracleEstimateLayer(graph, clocks.__getitem__, strategy="toward_observer")
+        # Node 0 sees node 1 one unit closer than it really is.
+        assert layer.estimate(0, 1, 0.0) == pytest.approx(12.0)
+        # And never past the observer's own value when closer than epsilon.
+        clocks[1] = 10.5
+        assert layer.estimate(0, 1, 0.0) == pytest.approx(10.0)
+
+    def test_error_scale_validated(self, graph):
+        with pytest.raises(EstimateLayerError):
+            OracleEstimateLayer(graph, lambda n: 0.0, error_scale=2.0)
+
+    def test_estimates_never_negative(self, graph):
+        clocks = {0: 0.0, 1: 0.2, 2: 0.0}
+        layer = OracleEstimateLayer(graph, clocks.__getitem__, strategy="underestimate")
+        assert layer.estimate(0, 1, 0.0) >= 0.0
+
+
+class TestBroadcastLayer:
+    def _layer(self, graph, hardware):
+        return BroadcastEstimateLayer(
+            graph, hardware.__getitem__, broadcast_interval=1.0, rho=0.01, mu=0.1
+        )
+
+    def test_no_estimate_before_any_broadcast(self, graph):
+        layer = self._layer(graph, {0: 0.0, 1: 0.0, 2: 0.0})
+        assert layer.estimate(0, 1, 0.0) is None
+
+    def test_estimate_extrapolates_with_observer_hardware(self, graph):
+        hardware = {0: 5.0, 1: 5.0, 2: 5.0}
+        layer = self._layer(graph, hardware)
+        broadcast = ClockBroadcast(sender=1, logical=20.0, max_estimate=20.0)
+        layer.on_broadcast(0, broadcast, t=5.0, transit_time=0.5)
+        assert layer.estimate(0, 1, 5.0) == pytest.approx(20.0)
+        hardware[0] = 7.0
+        assert layer.estimate(0, 1, 7.0) == pytest.approx(22.0)
+
+    def test_staleness_tracked(self, graph):
+        hardware = {0: 5.0, 1: 5.0, 2: 5.0}
+        layer = self._layer(graph, hardware)
+        layer.on_broadcast(0, ClockBroadcast(sender=1, logical=20.0, max_estimate=20.0), 5.0, 0.5)
+        assert layer.staleness(0, 1, 8.0) == pytest.approx(3.0)
+        assert layer.staleness(0, 2, 8.0) is None
+
+    def test_forget_clears_estimate(self, graph):
+        hardware = {0: 5.0, 1: 5.0, 2: 5.0}
+        layer = self._layer(graph, hardware)
+        layer.on_broadcast(0, ClockBroadcast(sender=1, logical=20.0, max_estimate=20.0), 5.0, 0.5)
+        layer.forget(0, 1)
+        assert layer.estimate(0, 1, 5.0) is None
+
+    def test_error_bound_components(self, graph):
+        layer = self._layer(graph, {0: 0.0, 1: 0.0, 2: 0.0})
+        bound = layer.error_bound(0, 1)
+        edge = graph.edge_params(0, 1)
+        transit = (1 + 0.01) * (1 + 0.1) * edge.delay
+        staleness = 1.0 / (1 - 0.01) + edge.delay
+        drift = (0.1 * 1.01 + 0.02) * staleness
+        assert bound == pytest.approx(transit + drift)
+
+    def test_requires_broadcasts_flag(self, graph):
+        layer = self._layer(graph, {0: 0.0, 1: 0.0, 2: 0.0})
+        assert layer.requires_broadcasts()
+        oracle = OracleEstimateLayer(graph, lambda n: 0.0)
+        assert not oracle.requires_broadcasts()
+
+    def test_invalid_configuration_rejected(self, graph):
+        with pytest.raises(EstimateLayerError):
+            BroadcastEstimateLayer(graph, lambda n: 0.0, broadcast_interval=0.0, rho=0.01, mu=0.1)
+        with pytest.raises(EstimateLayerError):
+            BroadcastEstimateLayer(graph, lambda n: 0.0, broadcast_interval=1.0, rho=2.0, mu=0.1)
+        with pytest.raises(EstimateLayerError):
+            BroadcastEstimateLayer(graph, lambda n: 0.0, broadcast_interval=1.0, rho=0.01, mu=-0.1)

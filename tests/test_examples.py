@@ -1,0 +1,29 @@
+"""Smoke tests: every example script runs to completion."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    assert len(EXAMPLES) >= 3
+    assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script.name} produced no output"
+
+
+def test_quickstart_reports_no_gradient_violations(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "gradient bound violations over the whole run: 0" in output

@@ -1,0 +1,149 @@
+"""Fault-injection and heterogeneous-network integration tests.
+
+These tests stress conditions the analysis allows but the happy path rarely
+exercises: messages lost when edges disappear mid-flight, repeatedly flapping
+edges, partitions that heal, and networks whose edges have very different
+uncertainties (the weighted gradient bound of the paper).
+"""
+
+import pytest
+
+from repro.analysis import gradient, skew
+from repro.core.algorithm import aopt_factory
+from repro.core import insertion as insertion_mod
+from repro.core.parameters import Parameters
+from repro.network import paths, topology
+from repro.network.edge import EdgeParams
+from repro.sim.drift import TwoGroupAdversary, half_split
+from repro.sim.runner import SimulationConfig, default_aopt_config, run_simulation
+
+PARAMS = Parameters(rho=0.01, mu=0.1)
+EDGE = EdgeParams(epsilon=1.0, tau=0.5, delay=2.0)
+FAST_INSERTION = insertion_mod.scaled_insertion_duration(0.02)
+
+
+def run(graph, *, duration, drop_messages=False, global_skew_bound=None, drift=None):
+    config = SimulationConfig(
+        params=PARAMS,
+        dt=0.05,
+        duration=duration,
+        drift=drift,
+        estimate_strategy="toward_observer",
+        drop_messages_on_edge_loss=drop_messages,
+    )
+    aopt_config = default_aopt_config(
+        graph,
+        config,
+        global_skew_bound=global_skew_bound,
+        insertion_duration=FAST_INSERTION,
+    )
+    return aopt_config, run_simulation(graph, aopt_factory(aopt_config), config)
+
+
+class TestMessageLoss:
+    def test_messages_dropped_on_edge_loss_do_not_break_safety(self):
+        graph = topology.line(5, EDGE)
+        # The middle edge flaps several times; in-flight messages are dropped.
+        for t in (10.0, 30.0, 50.0):
+            graph.schedule_edge_down(t, 2, 3)
+            graph.schedule_edge_up(t + 5.0, 2, 3, params=EDGE)
+        fast, slow = half_split(graph.nodes)
+        aopt_config, result = run(
+            graph,
+            duration=120.0,
+            drop_messages=True,
+            drift=TwoGroupAdversary(PARAMS.rho, fast, slow),
+        )
+        assert result.engine.transport.dropped_count >= 0
+        assert result.trace.max_global_skew() <= aopt_config.global_skew.value(0.0)
+        for node in result.engine.nodes:
+            assert result.engine.algorithm(node).levels.subset_chain_holds()
+
+    def test_flapping_edge_never_gets_stuck_half_inserted(self):
+        graph = topology.line(4, EDGE)
+        graph.schedule_edge_up(5.0, 0, 3, params=EDGE)
+        graph.schedule_edge_down(6.0, 0, 3)
+        graph.schedule_edge_up(20.0, 0, 3, params=EDGE)
+        _, result = run(graph, duration=400.0, global_skew_bound=20.0)
+        # The second appearance must eventually complete the insertion.
+        assert result.engine.algorithm(0).levels.is_fully_inserted(3)
+        assert result.engine.algorithm(3).levels.is_fully_inserted(0)
+
+
+class TestPartitionAndHeal:
+    def test_partition_heals_and_skew_recovers(self):
+        graph = topology.line(6, EDGE)
+        graph.schedule_edge_down(10.0, 2, 3)
+        graph.schedule_edge_up(60.0, 2, 3, params=EDGE)
+        fast, slow = half_split(graph.nodes)
+        aopt_config, result = run(
+            graph,
+            duration=700.0,
+            global_skew_bound=30.0,
+            drift=TwoGroupAdversary(PARAMS.rho, fast, slow),
+        )
+        # While partitioned the two halves drift apart, but after healing the
+        # final skew across the healed edge is far below the partition-era peak.
+        peak = skew.max_skew_between(result.trace, 2, 3, start=10.0)
+        final = result.trace.final().skew(2, 3)
+        assert final < peak
+        assert result.engine.algorithm(2).levels.is_fully_inserted(3)
+
+    def test_clocks_respect_envelope_through_partition(self):
+        graph = topology.line(4, EDGE)
+        graph.schedule_edge_down(5.0, 1, 2)
+        _, result = run(graph, duration=50.0, global_skew_bound=20.0)
+        duration = result.trace.final().time
+        for node in result.engine.nodes:
+            value = result.engine.logical_value(node)
+            assert PARAMS.alpha * duration - 1e-6 <= value <= PARAMS.beta * duration + 1e-6
+
+
+class TestHeterogeneousEdges:
+    def test_weighted_gradient_bound_holds(self):
+        # A line whose edges alternate between precise and very noisy links.
+        graph = topology.line(7)
+        precise = EdgeParams(epsilon=0.25, tau=0.1, delay=0.5)
+        noisy = EdgeParams(epsilon=2.0, tau=1.0, delay=4.0)
+        for i in range(6):
+            graph.set_edge_params(i, i + 1, precise if i % 2 == 0 else noisy)
+        fast, slow = half_split(graph.nodes)
+        aopt_config, result = run(
+            graph,
+            duration=150.0,
+            drift=TwoGroupAdversary(PARAMS.rho, fast, slow),
+        )
+        violations = gradient.check_trace(
+            result.trace, result.engine.graph, aopt_config.global_skew.value(0.0), PARAMS
+        )
+        assert violations == []
+
+    def test_precise_edges_carry_less_skew_than_noisy_ones(self):
+        graph = topology.line(7)
+        precise = EdgeParams(epsilon=0.25, tau=0.1, delay=0.5)
+        noisy = EdgeParams(epsilon=2.0, tau=1.0, delay=4.0)
+        for i in range(6):
+            graph.set_edge_params(i, i + 1, precise if i % 2 == 0 else noisy)
+        fast, slow = half_split(graph.nodes)
+        _, result = run(
+            graph,
+            duration=250.0,
+            drift=TwoGroupAdversary(PARAMS.rho, fast, slow),
+        )
+        start = skew.steady_state_window(result.trace, 0.5)[0]
+        precise_edges = [(i, i + 1) for i in range(0, 6, 2)]
+        noisy_edges = [(i, i + 1) for i in range(1, 6, 2)]
+        precise_skew = skew.max_local_skew(result.trace, precise_edges, start=start)
+        noisy_skew = skew.max_local_skew(result.trace, noisy_edges, start=start)
+        # The permissible skew is proportional to kappa_e, and the algorithm
+        # indeed keeps the precise links tighter than the noisy ones.
+        assert precise_skew <= noisy_skew
+
+    def test_kappa_weighted_distance_used_in_bound(self):
+        graph = topology.line(3)
+        graph.set_edge_params(0, 1, EdgeParams(epsilon=0.25, tau=0.1))
+        graph.set_edge_params(1, 2, EdgeParams(epsilon=2.0, tau=1.0))
+        weight = paths.kappa_weight(graph, PARAMS)
+        assert weight(0, 1) < weight(1, 2)
+        total = paths.weighted_distance(graph, 0, 2, weight)
+        assert total == pytest.approx(weight(0, 1) + weight(1, 2))

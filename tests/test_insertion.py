@@ -1,0 +1,185 @@
+"""Tests for repro.core.insertion."""
+
+import math
+
+import pytest
+
+from repro.core import insertion
+from repro.core.parameters import ParameterError, Parameters
+from repro.network.edge import EdgeParams
+
+
+@pytest.fixture
+def edge():
+    return EdgeParams(epsilon=1.0, tau=0.5, delay=2.0)
+
+
+class TestHandshakeTiming:
+    def test_leader_wait_formula(self, params, edge):
+        expected = (
+            (1 + params.rho) * (1 + params.mu) * (edge.delay + edge.tau) / (1 - params.rho)
+            + edge.tau
+        )
+        assert insertion.leader_wait(params, edge) == pytest.approx(expected)
+
+    def test_leader_wait_exceeds_follower_wait(self, params, edge):
+        # The follower window [T + tau, Delta - tau] must be non-empty.
+        assert insertion.leader_wait(params, edge) - edge.tau >= insertion.follower_wait(
+            params, edge
+        )
+
+    def test_follower_wait(self, params, edge):
+        assert insertion.follower_wait(params, edge) == pytest.approx(2.5)
+
+    def test_insertion_anchor(self, params, edge):
+        anchor = insertion.insertion_anchor(100.0, 50.0, params, edge)
+        assert anchor == pytest.approx(100.0 + 50.0 + (1 + params.rho) * (1 + params.mu) * 2.0)
+
+    def test_insertion_anchor_validation(self, params, edge):
+        with pytest.raises(ParameterError):
+            insertion.insertion_anchor(-1.0, 50.0, params, edge)
+        with pytest.raises(ParameterError):
+            insertion.insertion_anchor(10.0, 0.0, params, edge)
+
+
+class TestInsertionTimes:
+    def test_anchor_is_multiple_of_duration(self):
+        schedule = insertion.compute_insertion_times(
+            95.0, 40.0, 4, neighbor=1, global_skew_estimate=20.0
+        )
+        assert schedule.anchor == pytest.approx(120.0)
+        assert schedule.anchor % 40.0 == pytest.approx(0.0)
+
+    def test_anchor_not_below_logical_anchor(self):
+        schedule = insertion.compute_insertion_times(
+            80.0, 40.0, 4, neighbor=1, global_skew_estimate=20.0
+        )
+        assert schedule.anchor >= 80.0
+
+    def test_anchor_exact_multiple_stays(self):
+        schedule = insertion.compute_insertion_times(
+            80.0, 40.0, 2, neighbor=1, global_skew_estimate=20.0
+        )
+        assert schedule.anchor == pytest.approx(80.0)
+
+    def test_level_times_follow_listing_2(self):
+        duration = 64.0
+        schedule = insertion.compute_insertion_times(
+            0.0, duration, 5, neighbor=1, global_skew_estimate=20.0
+        )
+        for s in range(1, 6):
+            expected = schedule.anchor + (1 - 2.0 ** (-(s - 1))) * duration
+            assert schedule.time_for_level(s) == pytest.approx(expected)
+
+    def test_level_times_increasing_and_converging(self):
+        schedule = insertion.compute_insertion_times(
+            10.0, 64.0, 8, neighbor=1, global_skew_estimate=20.0
+        )
+        times = schedule.level_times
+        assert all(times[i] < times[i + 1] for i in range(len(times) - 1))
+        assert times[-1] < schedule.final_time
+
+    def test_due_levels_progression(self):
+        schedule = insertion.compute_insertion_times(
+            0.0, 64.0, 3, neighbor=1, global_skew_estimate=20.0
+        )
+        assert schedule.due_levels(schedule.anchor - 1.0) == []
+        assert schedule.due_levels(schedule.anchor) == [1]
+        assert schedule.due_levels(schedule.anchor + 32.0) == [2]
+        assert schedule.due_levels(schedule.final_time) == [3]
+        assert schedule.is_complete()
+
+    def test_due_levels_can_fire_in_batch(self):
+        schedule = insertion.compute_insertion_times(
+            0.0, 64.0, 3, neighbor=1, global_skew_estimate=20.0
+        )
+        assert schedule.due_levels(schedule.final_time) == [1, 2, 3]
+
+    def test_time_for_level_bounds(self):
+        schedule = insertion.compute_insertion_times(
+            0.0, 64.0, 3, neighbor=1, global_skew_estimate=20.0
+        )
+        with pytest.raises(ParameterError):
+            schedule.time_for_level(0)
+        with pytest.raises(ParameterError):
+            schedule.time_for_level(4)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            insertion.compute_insertion_times(-1.0, 64.0, 3, neighbor=1, global_skew_estimate=20.0)
+        with pytest.raises(ParameterError):
+            insertion.compute_insertion_times(0.0, 0.0, 3, neighbor=1, global_skew_estimate=20.0)
+        with pytest.raises(ParameterError):
+            insertion.compute_insertion_times(0.0, 64.0, 0, neighbor=1, global_skew_estimate=20.0)
+
+
+class TestDurations:
+    def test_static_duration_delegates_to_equation_10(self, params):
+        assert insertion.static_insertion_duration(params, 30.0) == pytest.approx(
+            params.insertion_duration(30.0)
+        )
+
+    def test_dynamic_duration_delegates_to_equation_11(self, tight_params, edge):
+        assert insertion.dynamic_insertion_duration(tight_params, 30.0, edge) == pytest.approx(
+            tight_params.insertion_duration_dynamic(30.0, edge.delay, edge.tau)
+        )
+
+    def test_paper_duration_functions(self, params, tight_params, edge):
+        static = insertion.paper_static_duration()
+        dynamic = insertion.paper_dynamic_duration()
+        assert static(params, 30.0, edge) == pytest.approx(params.insertion_duration(30.0))
+        assert dynamic(tight_params, 30.0, edge) == pytest.approx(
+            tight_params.insertion_duration_dynamic(30.0, edge.delay, edge.tau)
+        )
+
+    def test_scaled_duration(self, params, edge):
+        scaled = insertion.scaled_insertion_duration(0.1)
+        assert scaled(params, 30.0, edge) == pytest.approx(0.1 * params.insertion_duration(30.0))
+
+    def test_scaled_duration_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            insertion.scaled_insertion_duration(0.0)
+
+    def test_insertion_time_separation_lemma_7_1(self):
+        value = insertion.insertion_time_separation(128.0, 2, 256.0, 3)
+        assert value == pytest.approx(128.0 / (2 ** 7))
+
+    def test_insertion_time_separation_validation(self):
+        with pytest.raises(ParameterError):
+            insertion.insertion_time_separation(0.0, 2, 256.0, 3)
+        with pytest.raises(ParameterError):
+            insertion.insertion_time_separation(128.0, 0, 256.0, 3)
+
+
+class TestLemma71Separation:
+    def test_distinct_levels_are_separated(self):
+        """Insertion times of distinct levels respect the Lemma 7.1 spacing."""
+        duration = 2.0 ** 9
+        schedule_a = insertion.compute_insertion_times(
+            0.0, duration, 6, neighbor=1, global_skew_estimate=20.0
+        )
+        schedule_b = insertion.compute_insertion_times(
+            300.0, duration, 6, neighbor=2, global_skew_estimate=20.0
+        )
+        for s_a in range(1, 7):
+            for s_b in range(1, 7):
+                t_a = schedule_a.time_for_level(s_a)
+                t_b = schedule_b.time_for_level(s_b)
+                if s_a == s_b:
+                    continue
+                separation = insertion.insertion_time_separation(duration, s_a, duration, s_b)
+                assert abs(t_a - t_b) >= separation - 1e-9
+
+    def test_same_level_same_duration_coincide_or_separated(self):
+        duration = 2.0 ** 9
+        schedule_a = insertion.compute_insertion_times(
+            0.0, duration, 4, neighbor=1, global_skew_estimate=20.0
+        )
+        schedule_b = insertion.compute_insertion_times(
+            100.0, duration, 4, neighbor=2, global_skew_estimate=20.0
+        )
+        for s in range(1, 5):
+            t_a = schedule_a.time_for_level(s)
+            t_b = schedule_b.time_for_level(s)
+            separation = insertion.insertion_time_separation(duration, s, duration, s)
+            assert abs(t_a - t_b) < 1e-9 or abs(t_a - t_b) >= separation - 1e-9

@@ -1,0 +1,128 @@
+"""Integration tests on dynamic graphs: edge insertion, removal and churn."""
+
+import pytest
+
+from repro.analysis import skew, stabilization
+from repro.core.algorithm import aopt_factory
+from repro.core import insertion as insertion_mod
+from repro.core.neighbor_sets import FULLY_INSERTED
+from repro.core.parameters import Parameters
+from repro.network import dynamics, topology
+from repro.network.edge import EdgeParams
+from repro.sim.drift import TwoGroupAdversary, half_split
+from repro.sim.runner import SimulationConfig, default_aopt_config, run_simulation
+
+PARAMS = Parameters(rho=0.01, mu=0.1)
+EDGE = EdgeParams(epsilon=1.0, tau=0.5, delay=2.0)
+
+# A small constant factor keeps the integration tests fast while preserving
+# the Theta(G/mu) scaling of the insertion process (see EXPERIMENTS.md).
+FAST_INSERTION = insertion_mod.scaled_insertion_duration(0.02)
+
+
+def run_scenario(graph, duration, *, global_skew_bound=None, drift=None):
+    config = SimulationConfig(
+        params=PARAMS,
+        dt=0.05,
+        duration=duration,
+        drift=drift,
+        estimate_strategy="toward_observer",
+    )
+    aopt_config = default_aopt_config(
+        graph, config, global_skew_bound=global_skew_bound, insertion_duration=FAST_INSERTION
+    )
+    return aopt_config, run_simulation(graph, aopt_factory(aopt_config), config)
+
+
+class TestEdgeInsertion:
+    @pytest.fixture(scope="class")
+    def insertion_run(self):
+        scenario = dynamics.line_with_end_to_end_insertion(6, insertion_time=20.0, params=EDGE)
+        fast, slow = half_split(scenario.graph.nodes)
+        drift = TwoGroupAdversary(PARAMS.rho, fast, slow)
+        aopt_config, result = run_scenario(
+            scenario.graph, duration=600.0, global_skew_bound=30.0, drift=drift
+        )
+        return scenario, aopt_config, result
+
+    def test_new_edge_eventually_fully_inserted_on_both_sides(self, insertion_run):
+        scenario, _, result = insertion_run
+        u, v = scenario.new_edge
+        assert result.engine.algorithm(u).neighbor_level(v) == FULLY_INSERTED
+        assert result.engine.algorithm(v).neighbor_level(u) == FULLY_INSERTED
+
+    def test_both_endpoints_used_identical_insertion_times(self, insertion_run):
+        scenario, _, result = insertion_run
+        u, v = scenario.new_edge
+        # After full insertion the schedules are discarded; re-run the check on
+        # the fact that both sides reached the same (fully inserted) state and
+        # that neither side violated the subset chain along the way.
+        assert result.engine.algorithm(u).levels.subset_chain_holds()
+        assert result.engine.algorithm(v).levels.subset_chain_holds()
+
+    def test_skew_on_new_edge_stabilizes_below_gradient_bound(self, insertion_run):
+        scenario, aopt_config, result = insertion_run
+        u, v = scenario.new_edge
+        kappa = PARAMS.kappa_for(EDGE.epsilon, EDGE.tau)
+        bound = PARAMS.local_skew_bound(kappa, aopt_config.global_skew.value(0.0))
+        measurement = stabilization.stabilization_time(
+            result.trace, u, v, bound=bound, event_time=scenario.insertion_time
+        )
+        assert measurement.stabilized
+
+    def test_old_edges_keep_gradient_bound_throughout(self, insertion_run):
+        scenario, aopt_config, result = insertion_run
+        kappa = PARAMS.kappa_for(EDGE.epsilon, EDGE.tau)
+        bound = PARAMS.local_skew_bound(kappa, aopt_config.global_skew.value(0.0))
+        base_edges = [(i, i + 1) for i in range(5)]
+        assert skew.max_local_skew(result.trace, base_edges) <= bound
+
+    def test_global_skew_stays_bounded(self, insertion_run):
+        _, aopt_config, result = insertion_run
+        assert result.trace.max_global_skew() <= aopt_config.global_skew.value(0.0)
+
+
+class TestEdgeRemoval:
+    def test_removing_edge_clears_neighbor_state(self):
+        graph = topology.line(4, EDGE)
+        graph.schedule_edge_down(10.0, 1, 2)
+        aopt_config, result = run_scenario(graph, duration=30.0)
+        assert result.engine.algorithm(1).neighbor_level(2) is None
+        assert result.engine.algorithm(2).neighbor_level(1) is None
+
+    def test_clocks_keep_running_after_partition(self):
+        graph = topology.line(4, EDGE)
+        graph.schedule_edge_down(10.0, 1, 2)
+        _, result = run_scenario(graph, duration=30.0)
+        for node in result.engine.nodes:
+            assert result.engine.logical_value(node) >= PARAMS.alpha * 30.0 - 1e-6
+
+
+class TestChurn:
+    def test_aopt_survives_random_churn(self):
+        base = topology.line(6, EDGE)
+        graph = dynamics.periodic_churn(
+            base,
+            [(0, 2), (1, 4), (3, 5)],
+            period=10.0,
+            horizon=80.0,
+            params=EDGE,
+            seed=3,
+        )
+        fast, slow = half_split(graph.nodes)
+        aopt_config, result = run_scenario(
+            graph,
+            duration=100.0,
+            drift=TwoGroupAdversary(PARAMS.rho, fast, slow),
+        )
+        assert result.trace.max_global_skew() <= aopt_config.global_skew.value(0.0)
+        # Backbone neighbor sets respect the subset chain at all times.
+        for node in result.engine.nodes:
+            assert result.engine.algorithm(node).levels.subset_chain_holds()
+
+    def test_sliding_window_line(self):
+        graph = dynamics.sliding_window_line(
+            6, window=2, shift_period=15.0, horizon=60.0, params=EDGE
+        )
+        aopt_config, result = run_scenario(graph, duration=80.0)
+        assert result.trace.max_global_skew() <= aopt_config.global_skew.value(0.0)

@@ -1,0 +1,156 @@
+"""Integration tests: AOPT and baselines on static networks.
+
+These tests run short but complete simulations and verify the paper's
+guarantees (rate envelope, global skew, gradient skew, max-estimate
+conditions) on the recorded traces.
+"""
+
+import pytest
+
+from repro.analysis import gradient, skew
+from repro.baselines.max_algorithm import max_propagation_factory
+from repro.baselines.threshold_gradient import threshold_gradient_factory
+from repro.core.algorithm import aopt_factory
+from repro.core.parameters import Parameters
+from repro.network import paths, topology
+from repro.network.edge import EdgeParams
+from repro.sim.drift import RampAdversary, TwoGroupAdversary, half_split
+from repro.sim.runner import SimulationConfig, default_aopt_config, run_simulation
+
+PARAMS = Parameters(rho=0.01, mu=0.1)
+EDGE = EdgeParams(epsilon=1.0, tau=0.5, delay=2.0)
+
+
+def adversarial_config(graph, duration=120.0, **kwargs):
+    fast, slow = half_split(graph.nodes)
+    return SimulationConfig(
+        params=PARAMS,
+        dt=0.05,
+        duration=duration,
+        drift=TwoGroupAdversary(PARAMS.rho, fast, slow),
+        estimate_strategy="toward_observer",
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def line_run():
+    graph = topology.line(8, EDGE)
+    config = adversarial_config(graph)
+    aopt_config = default_aopt_config(graph, config)
+    result = run_simulation(graph, aopt_factory(aopt_config), config)
+    return graph, config, aopt_config, result
+
+
+class TestAOPTOnStaticLine:
+    def test_rate_envelope_respected(self, line_run):
+        _, config, _, result = line_run
+        duration = result.trace.final().time
+        for node in result.engine.nodes:
+            value = result.engine.logical_value(node)
+            assert value >= PARAMS.alpha * duration - 1e-6
+            assert value <= PARAMS.beta * duration + 1e-6
+
+    def test_logical_clocks_monotone(self, line_run):
+        _, _, _, result = line_run
+        for node in result.engine.nodes:
+            series = [v for _, v in result.trace.logical_series(node)]
+            assert all(a <= b + 1e-12 for a, b in zip(series, series[1:]))
+
+    def test_global_skew_bounded_by_estimate(self, line_run):
+        _, _, aopt_config, result = line_run
+        assert result.trace.max_global_skew() <= aopt_config.global_skew.value(0.0)
+
+    def test_gradient_bound_holds(self, line_run):
+        graph, _, aopt_config, result = line_run
+        violations = gradient.check_trace(
+            result.trace, graph, aopt_config.global_skew.value(0.0), PARAMS
+        )
+        assert violations == []
+
+    def test_max_estimates_never_exceed_true_max(self, line_run):
+        _, _, _, result = line_run
+        for sample in result.trace:
+            assert skew.max_estimate_violations(sample) == 0
+
+    def test_both_modes_exercised(self, line_run):
+        _, _, _, result = line_run
+        counts = result.trace.mode_counts()
+        assert counts.get("fast", 0) > 0
+        assert counts.get("slow", 0) > 0
+
+    def test_local_skew_well_below_global_skew_budget(self, line_run):
+        graph, _, aopt_config, result = line_run
+        local = skew.max_local_skew(result.trace, skew.edges_of(graph))
+        kappa = PARAMS.kappa_for(EDGE.epsilon, EDGE.tau)
+        bound = PARAMS.local_skew_bound(kappa, aopt_config.global_skew.value(0.0))
+        assert local <= bound
+
+
+class TestAOPTOnOtherTopologies:
+    @pytest.mark.parametrize(
+        "graph_builder",
+        [
+            lambda: topology.ring(8, EDGE),
+            lambda: topology.grid(3, 3, EDGE),
+            lambda: topology.binary_tree(3, EDGE),
+        ],
+    )
+    def test_gradient_bound_holds(self, graph_builder):
+        graph = graph_builder()
+        config = adversarial_config(graph, duration=60.0)
+        aopt_config = default_aopt_config(graph, config)
+        result = run_simulation(graph, aopt_factory(aopt_config), config)
+        violations = gradient.check_trace(
+            result.trace, graph, aopt_config.global_skew.value(0.0), PARAMS
+        )
+        assert violations == []
+        assert result.trace.max_global_skew() <= aopt_config.global_skew.value(0.0)
+
+
+class TestBroadcastEstimateMode:
+    def test_aopt_with_message_based_estimates(self):
+        graph = topology.line(5, EDGE)
+        fast, slow = half_split(graph.nodes)
+        config = SimulationConfig(
+            params=PARAMS,
+            dt=0.05,
+            duration=80.0,
+            drift=TwoGroupAdversary(PARAMS.rho, fast, slow),
+            estimate_mode="broadcast",
+            broadcast_interval=0.5,
+        )
+        aopt_config = default_aopt_config(graph, config)
+        result = run_simulation(graph, aopt_factory(aopt_config), config)
+        assert result.trace.max_global_skew() <= aopt_config.global_skew.value(0.0)
+        # Broadcast estimates are coarser, so only check a loose gradient bound
+        # on single edges (kappa derived from the broadcast error bound).
+        layer_epsilon = result.engine.estimate_layer.error_bound(0, 1)
+        kappa = PARAMS.kappa_for(layer_epsilon, EDGE.tau)
+        local = skew.max_local_skew(result.trace, skew.edges_of(graph))
+        assert local <= PARAMS.local_skew_bound(kappa, aopt_config.global_skew.value(0.0))
+
+
+class TestBaselineComparison:
+    def test_aopt_beats_unsynchronized_drift(self):
+        graph = topology.line(8, EDGE)
+        config = adversarial_config(graph, duration=150.0)
+        aopt_config = default_aopt_config(graph, config)
+        result = run_simulation(graph, aopt_factory(aopt_config), config)
+        uncorrected = 2 * PARAMS.rho * 150.0
+        assert result.trace.final().global_skew() < uncorrected
+
+    def test_threshold_baseline_runs_and_stays_bounded(self):
+        graph = topology.line(8, EDGE)
+        config = adversarial_config(graph, duration=100.0)
+        kappa = PARAMS.kappa_for(EDGE.epsilon, EDGE.tau)
+        result = run_simulation(
+            graph, threshold_gradient_factory(PARAMS, kappa), config
+        )
+        assert result.trace.max_global_skew() < 50.0
+
+    def test_max_propagation_keeps_global_skew_small(self):
+        graph = topology.line(8, EDGE)
+        config = adversarial_config(graph, duration=100.0)
+        result = run_simulation(graph, max_propagation_factory(PARAMS.rho), config)
+        assert result.trace.final().global_skew() < 2 * PARAMS.rho * 100.0

@@ -1,0 +1,96 @@
+"""Tests for repro.analysis.legality."""
+
+import pytest
+
+from repro.analysis import legality
+
+
+@pytest.fixture
+def line_edges():
+    """A 4-node line with kappa = 4 on every edge, same set on every level."""
+    edges = [(0, 1, 4.0), (1, 2, 4.0), (2, 3, 4.0)]
+    return {1: edges, 2: edges, 3: edges}
+
+
+class TestPsiAndXi:
+    def test_psi_zero_for_synchronized_clocks(self, line_edges):
+        logical = {0: 10.0, 1: 10.0, 2: 10.0, 3: 10.0}
+        assert legality.psi(0, 1, logical, line_edges[1]) == 0.0
+
+    def test_psi_positive_when_far_node_ahead(self, line_edges):
+        logical = {0: 0.0, 1: 0.0, 2: 0.0, 3: 30.0}
+        # Path weight 12, level 1: psi = 30 - 0 - 1.5 * 12 = 12.
+        assert legality.psi(0, 1, logical, line_edges[1]) == pytest.approx(12.0)
+
+    def test_psi_uses_shortest_path(self):
+        edges = [(0, 1, 4.0), (1, 2, 4.0), (0, 2, 2.0)]
+        logical = {0: 0.0, 1: 0.0, 2: 10.0}
+        # Direct edge weight 2 gives psi = 10 - 1.5*2 = 7; via node 1 only 10 - 12.
+        assert legality.psi(0, 1, logical, edges) == pytest.approx(7.0)
+
+    def test_xi_measures_being_ahead(self, line_edges):
+        logical = {0: 30.0, 1: 0.0, 2: 0.0, 3: 0.0}
+        # xi at node 0, level 1: 30 - 0 - 1*4 = 26 over the one-hop path.
+        assert legality.xi(0, 1, logical, line_edges[1]) == pytest.approx(26.0)
+
+    def test_level_validation(self, line_edges):
+        with pytest.raises(ValueError):
+            legality.psi(0, 0, {0: 0.0}, line_edges[1])
+        with pytest.raises(ValueError):
+            legality.xi(0, 0, {0: 0.0}, line_edges[1])
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            legality.psi(0, 1, {0: 0.0, 1: 0.0}, [(0, 1, 0.0)])
+
+
+class TestLegalityChecks:
+    def test_synchronized_system_is_legal(self, params, line_edges):
+        logical = {n: 5.0 for n in range(4)}
+        sequence = legality.gradient_sequence(50.0, params, 3)
+        assert legality.is_legal(logical, line_edges, sequence)
+
+    def test_large_skew_violates_higher_levels(self, params, line_edges):
+        logical = {0: 0.0, 1: 0.0, 2: 0.0, 3: 60.0}
+        sequence = legality.gradient_sequence(50.0, params, 3)
+        violations = legality.legality_violations(logical, line_edges, sequence)
+        assert violations
+        assert all(v.excess >= 0 for v in violations)
+        # The higher levels have stricter requirements (C_s shrinks with s),
+        # so a violation must in particular show up on the highest level.
+        assert any(v.level == 3 for v in violations)
+
+    def test_gradient_sequence_structure(self, params):
+        sequence = legality.gradient_sequence(50.0, params, 4)
+        assert sequence[1] == pytest.approx(100.0)
+        assert sequence[2] == pytest.approx(100.0)
+        assert sequence[3] == pytest.approx(100.0 / params.sigma)
+        assert len(sequence) == 5
+
+    def test_levels_outside_sequence_ignored(self, params, line_edges):
+        logical = {n: 0.0 for n in range(4)}
+        sequence = legality.gradient_sequence(50.0, params, 2)
+        # level_edges contains level 3 but the sequence stops at 2.
+        assert legality.is_legal(logical, line_edges, sequence)
+
+    def test_pairwise_bound_from_legality(self, params):
+        sequence = legality.gradient_sequence(50.0, params, 3)
+        bound = legality.pairwise_bound_from_legality(8.0, 2, sequence)
+        assert bound == pytest.approx(2.5 * 8.0 + sequence[2] / 2.0)
+
+    def test_pairwise_bound_validation(self, params):
+        sequence = legality.gradient_sequence(50.0, params, 3)
+        with pytest.raises(ValueError):
+            legality.pairwise_bound_from_legality(8.0, 9, sequence)
+        with pytest.raises(ValueError):
+            legality.pairwise_bound_from_legality(-1.0, 2, sequence)
+
+    def test_lemma_5_14_consistency(self, params, line_edges):
+        """Legality implies the pairwise bound of Lemma 5.14."""
+        logical = {0: 0.0, 1: 2.0, 2: 4.0, 3: 6.0}
+        sequence = legality.gradient_sequence(50.0, params, 3)
+        assert legality.is_legal(logical, line_edges, sequence)
+        for level in (1, 2, 3):
+            for node, other, distance in [(0, 1, 4.0), (0, 3, 12.0), (1, 3, 8.0)]:
+                bound = legality.pairwise_bound_from_legality(distance, level, sequence)
+                assert abs(logical[node] - logical[other]) <= bound

@@ -1,0 +1,122 @@
+"""Tests for repro.lower_bounds."""
+
+import math
+
+import pytest
+
+from repro.lower_bounds import analytic, insertion_bound, shifting
+from repro.network.edge import EdgeParams
+from repro.sim.delay import DirectionalDelay
+from repro.sim.drift import RampAdversary, TwoGroupAdversary
+
+
+class TestAnalyticBounds:
+    def test_global_skew_lower_bound(self):
+        assert analytic.global_skew_lower_bound([1.0] * 10) == 5.0
+
+    def test_global_skew_lower_bound_rejects_negative(self):
+        with pytest.raises(ValueError):
+            analytic.global_skew_lower_bound([-1.0])
+
+    def test_local_skew_base(self, params):
+        base = analytic.local_skew_base(params)
+        assert base == pytest.approx(
+            min(1 / params.rho, (params.beta - params.alpha) / (params.alpha * params.rho))
+        )
+        assert base > 1.0
+
+    def test_local_skew_lower_bound_grows_with_diameter(self, params):
+        assert analytic.local_skew_lower_bound(1000.0, params) > analytic.local_skew_lower_bound(
+            10.0, params
+        )
+
+    def test_local_skew_lower_bound_small_diameter(self, params):
+        assert analytic.local_skew_lower_bound(1.0, params) == 0.0
+
+    def test_local_skew_lower_bound_is_logarithmic(self, params):
+        # Doubling the diameter adds a constant, as log would.
+        d1 = analytic.local_skew_lower_bound(100.0, params)
+        d2 = analytic.local_skew_lower_bound(200.0, params)
+        d3 = analytic.local_skew_lower_bound(400.0, params)
+        assert d2 - d1 == pytest.approx(d3 - d2, rel=1e-6)
+
+    def test_stabilization_time_lower_bound_linear_in_diameter(self, params):
+        small = analytic.stabilization_time_lower_bound(10.0, params)
+        large = analytic.stabilization_time_lower_bound(20.0, params)
+        assert large == pytest.approx(2 * small)
+
+    def test_stabilization_time_constant_range(self, params):
+        with pytest.raises(ValueError):
+            analytic.stabilization_time_lower_bound(10.0, params, c1=0.5)
+
+    def test_insertion_skew_lower_bound(self):
+        value = analytic.insertion_skew_lower_bound(64)
+        assert value > 64 / 2 - 2
+        assert analytic.insertion_skew_lower_bound(2) == 0.0
+
+    def test_insertion_skew_constant_range(self):
+        with pytest.raises(ValueError):
+            analytic.insertion_skew_lower_bound(64, c1=0.2)
+
+    def test_drift_accumulation(self):
+        assert analytic.drift_accumulation(0.01, 100.0) == pytest.approx(2.0)
+
+    def test_gradient_trade_off_bound(self):
+        assert analytic.gradient_trade_off_bound(2.0, 100.0) == 50.0
+        with pytest.raises(ValueError):
+            analytic.gradient_trade_off_bound(0.0, 100.0)
+
+
+class TestShiftingScenario:
+    def test_build(self, params):
+        scenario = shifting.build(8, params)
+        assert scenario.n == 8
+        assert scenario.endpoints == (0, 7)
+        assert isinstance(scenario.drift, RampAdversary)
+        assert isinstance(scenario.delay, DirectionalDelay)
+        assert scenario.expected_lower_bound == pytest.approx(7 / 2)
+        assert scenario.graph.node_count == 8
+
+    def test_build_with_custom_edges(self, params):
+        scenario = shifting.build(5, params, edge_params=EdgeParams(epsilon=2.0))
+        assert scenario.expected_lower_bound == pytest.approx(4.0)
+
+    def test_build_validation(self, params):
+        with pytest.raises(ValueError):
+            shifting.build(1, params)
+
+    def test_minimum_time_to_accumulate(self, params):
+        assert shifting.minimum_time_to_accumulate(2.0, params) == pytest.approx(
+            2.0 / (2 * params.rho)
+        )
+        with pytest.raises(ValueError):
+            shifting.minimum_time_to_accumulate(-1.0, params)
+
+
+class TestInsertionBoundScenario:
+    def test_build(self, params):
+        scenario = insertion_bound.build(16, params, skew_buildup_time=100.0)
+        assert scenario.n == 16
+        assert scenario.new_edge == (0, 16)
+        assert scenario.insertion_time == pytest.approx(100.0)
+        assert isinstance(scenario.drift, TwoGroupAdversary)
+        assert scenario.skew_lower_bound > 0
+        assert scenario.persistence_lower_bound > 0
+
+    def test_inner_pair_inside_line(self, params):
+        scenario = insertion_bound.build(32, params, skew_buildup_time=50.0)
+        u, v = scenario.inner_pair
+        assert 0 < u < v < 32
+
+    def test_persistence_scales_with_n(self, params):
+        small = insertion_bound.build(16, params, skew_buildup_time=50.0)
+        large = insertion_bound.build(32, params, skew_buildup_time=50.0)
+        assert large.persistence_lower_bound == pytest.approx(
+            2 * small.persistence_lower_bound
+        )
+
+    def test_validation(self, params):
+        with pytest.raises(ValueError):
+            insertion_bound.build(2, params, skew_buildup_time=50.0)
+        with pytest.raises(ValueError):
+            insertion_bound.build(16, params, skew_buildup_time=0.0)

@@ -1,0 +1,90 @@
+"""Tests for repro.core.max_estimate."""
+
+import pytest
+
+from repro.core.max_estimate import MaxEstimateTracker
+
+
+class TestMaxEstimateTracker:
+    def test_initial_value(self):
+        assert MaxEstimateTracker(0.01).value == 0.0
+        assert MaxEstimateTracker(0.01, 5.0).value == 5.0
+
+    def test_rejects_bad_rho(self):
+        with pytest.raises(ValueError):
+            MaxEstimateTracker(1.0)
+
+    def test_rejects_negative_initial(self):
+        with pytest.raises(ValueError):
+            MaxEstimateTracker(0.01, -1.0)
+
+    def test_tracks_own_logical_clock(self):
+        tracker = MaxEstimateTracker(0.01)
+        tracker.advance(hardware_value=0.0, logical_value=0.0)
+        tracker.advance(hardware_value=1.0, logical_value=1.05)
+        assert tracker.value == pytest.approx(1.05)
+
+    def test_grows_conservatively_when_ahead(self):
+        tracker = MaxEstimateTracker(0.01)
+        tracker.observe_remote(10.0)
+        tracker.advance(hardware_value=0.0, logical_value=0.0)
+        tracker.advance(hardware_value=2.0, logical_value=1.0)
+        expected = 10.0 + 2.0 * (1 - 0.01) / (1 + 0.01)
+        assert tracker.value == pytest.approx(expected)
+
+    def test_conservative_rate_below_one(self):
+        assert MaxEstimateTracker(0.01).conservative_rate_factor < 1.0
+
+    def test_never_below_own_logical(self):
+        tracker = MaxEstimateTracker(0.01)
+        tracker.advance(0.0, 0.0)
+        tracker.advance(1.0, 5.0)
+        assert tracker.value >= 5.0
+        assert tracker.lag_behind(5.0) >= 0.0
+
+    def test_observe_remote_only_increases(self):
+        tracker = MaxEstimateTracker(0.01, 8.0)
+        tracker.observe_remote(3.0)
+        assert tracker.value == 8.0
+        tracker.observe_remote(12.0)
+        assert tracker.value == 12.0
+
+    def test_observe_remote_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MaxEstimateTracker(0.01).observe_remote(-1.0)
+
+    def test_hardware_regression_rejected(self):
+        tracker = MaxEstimateTracker(0.01)
+        tracker.advance(5.0, 1.0)
+        with pytest.raises(ValueError):
+            tracker.advance(4.0, 1.0)
+
+    def test_negative_clock_values_rejected(self):
+        tracker = MaxEstimateTracker(0.01)
+        with pytest.raises(ValueError):
+            tracker.advance(-1.0, 0.0)
+        with pytest.raises(ValueError):
+            tracker.advance(0.0, -1.0)
+
+    def test_condition_4_3_upper_bound_simulation(self):
+        """M never exceeds the true maximum when updated per the rules."""
+        rho = 0.01
+        tracker = MaxEstimateTracker(rho)
+        true_max = 0.0
+        own_logical = 0.0
+        own_hardware = 0.0
+        tracker.advance(own_hardware, own_logical)
+        for step in range(200):
+            dt = 0.1
+            # True maximum grows at least at rate 1 - rho.
+            true_max += (1 - rho) * dt
+            # This node runs slow and fast alternately, always behind the max.
+            rate = (1 + rho) if step % 2 == 0 else (1 - rho)
+            own_hardware += rate * dt
+            own_logical = min(true_max, own_logical + rate * dt)
+            tracker.advance(own_hardware, own_logical)
+            if step % 17 == 0:
+                # Occasionally hear a (valid) remote estimate of the maximum.
+                tracker.observe_remote(true_max * 0.9)
+            assert tracker.value <= true_max + 1e-9
+            assert tracker.value >= own_logical - 1e-9

@@ -1,0 +1,115 @@
+"""Tests for repro.estimate.messages and repro.estimate.transport."""
+
+import pytest
+
+from repro.estimate.messages import ClockBroadcast, Envelope, InsertEdgeMessage
+from repro.estimate.transport import Transport, TransportError
+from repro.network import topology
+from repro.sim.delay import FixedFractionDelay, ZeroDelay
+
+
+class TestMessages:
+    def test_clock_broadcast_fields(self):
+        broadcast = ClockBroadcast(sender=1, logical=10.0, max_estimate=12.0, hardware=9.5)
+        assert broadcast.sender == 1
+        assert broadcast.max_estimate == 12.0
+
+    def test_clock_broadcast_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ClockBroadcast(sender=1, logical=-1.0, max_estimate=0.0)
+
+    def test_insert_edge_message_fields(self):
+        message = InsertEdgeMessage(edge=(0, 1), insertion_anchor=50.0, global_skew_estimate=20.0)
+        assert message.edge == (0, 1)
+
+    def test_insert_edge_message_validation(self):
+        with pytest.raises(ValueError):
+            InsertEdgeMessage(edge=(1, 1), insertion_anchor=50.0, global_skew_estimate=20.0)
+        with pytest.raises(ValueError):
+            InsertEdgeMessage(edge=(0, 1), insertion_anchor=50.0, global_skew_estimate=0.0)
+
+    def test_envelope_transit_time(self):
+        envelope = Envelope(sender=0, receiver=1, payload="x", send_time=1.0, delivery_time=2.5)
+        assert envelope.transit_time == pytest.approx(1.5)
+
+    def test_envelope_rejects_time_travel(self):
+        with pytest.raises(ValueError):
+            Envelope(sender=0, receiver=1, payload="x", send_time=2.0, delivery_time=1.0)
+
+    def test_envelope_ids_unique(self):
+        a = Envelope(sender=0, receiver=1, payload="x", send_time=0.0, delivery_time=0.0)
+        b = Envelope(sender=0, receiver=1, payload="x", send_time=0.0, delivery_time=0.0)
+        assert a.message_id != b.message_id
+
+
+class TestTransport:
+    @pytest.fixture
+    def graph(self):
+        return topology.line(3)
+
+    def test_send_and_deliver(self, graph):
+        transport = Transport(graph, ZeroDelay())
+        transport.send(0, 1, "hello", t=1.0)
+        due = transport.deliveries_due(1.0)
+        assert len(due) == 1
+        assert due[0].payload == "hello"
+        assert transport.delivered_count == 1
+
+    def test_delay_respects_bound(self, graph):
+        transport = Transport(graph, FixedFractionDelay(1.0))
+        envelope = transport.send(0, 1, "x", t=0.0)
+        bound = graph.edge_params(0, 1).delay
+        assert envelope.delivery_time == pytest.approx(bound)
+        assert transport.deliveries_due(bound / 2) == []
+        assert len(transport.deliveries_due(bound)) == 1
+
+    def test_send_requires_edge(self, graph):
+        transport = Transport(graph)
+        with pytest.raises(TransportError):
+            transport.send(0, 2, "x", t=0.0)
+
+    def test_try_send_returns_none_without_edge(self, graph):
+        transport = Transport(graph)
+        assert transport.try_send(0, 2, "x", t=0.0) is None
+        assert transport.try_send(0, 1, "x", t=0.0) is not None
+
+    def test_unknown_node_rejected(self, graph):
+        transport = Transport(graph)
+        with pytest.raises(TransportError):
+            transport.send(0, 99, "x", t=0.0)
+
+    def test_deliveries_sorted_by_time(self, graph):
+        transport = Transport(graph, ZeroDelay())
+        transport.send(0, 1, "first", t=0.0)
+        transport.send(1, 2, "second", t=0.0)
+        due = transport.deliveries_due(0.0)
+        assert [env.payload for env in due] == ["first", "second"]
+
+    def test_drop_on_edge_loss(self, graph):
+        transport = Transport(graph, FixedFractionDelay(1.0), drop_on_edge_loss=True)
+        transport.send(0, 1, "x", t=0.0)
+        graph.remove_directed_edge(1, 0)
+        assert transport.deliveries_due(10.0) == []
+        assert transport.dropped_count == 1
+
+    def test_keep_on_edge_loss_by_default(self, graph):
+        transport = Transport(graph, FixedFractionDelay(1.0))
+        transport.send(0, 1, "x", t=0.0)
+        graph.remove_directed_edge(1, 0)
+        assert len(transport.deliveries_due(10.0)) == 1
+
+    def test_drop_all(self, graph):
+        transport = Transport(graph, FixedFractionDelay(1.0))
+        transport.send(0, 1, "x", t=0.0)
+        transport.send(1, 0, "y", t=0.0)
+        assert transport.drop_all() == 2
+        assert transport.pending_count() == 0
+
+    def test_counters(self, graph):
+        transport = Transport(graph, ZeroDelay())
+        transport.send(0, 1, "x", t=0.0)
+        transport.send(1, 2, "y", t=0.0)
+        transport.deliveries_due(0.0)
+        assert transport.sent_count == 2
+        assert transport.delivered_count == 2
+        assert transport.dropped_count == 0

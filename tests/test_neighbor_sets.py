@@ -1,0 +1,111 @@
+"""Tests for repro.core.neighbor_sets."""
+
+import pytest
+
+from repro.core.neighbor_sets import FULLY_INSERTED, NeighborLevelError, NeighborLevels
+
+
+class TestNeighborLevels:
+    def test_requires_positive_max_level(self):
+        with pytest.raises(NeighborLevelError):
+            NeighborLevels(0)
+
+    def test_discover_adds_to_level_zero_only(self):
+        levels = NeighborLevels(4)
+        levels.discover(7)
+        assert 7 in levels
+        assert levels.level_of(7) == 0
+        assert levels.members(0) == {7}
+        assert levels.members(1) == set()
+
+    def test_discover_does_not_demote(self):
+        levels = NeighborLevels(4)
+        levels.add_fully_inserted(7)
+        levels.discover(7)
+        assert levels.level_of(7) == FULLY_INSERTED
+
+    def test_fully_inserted_in_all_levels(self):
+        levels = NeighborLevels(4)
+        levels.add_fully_inserted(3)
+        for s in range(5):
+            assert 3 in levels.members(s)
+        assert levels.is_fully_inserted(3)
+        assert levels.fully_inserted() == {3}
+
+    def test_promotion_is_monotone(self):
+        levels = NeighborLevels(4)
+        levels.discover(1)
+        levels.promote(1, 2)
+        assert levels.level_of(1) == 2
+        levels.promote(1, 1)
+        assert levels.level_of(1) == 2
+
+    def test_promotion_to_max_level_means_fully_inserted(self):
+        levels = NeighborLevels(3)
+        levels.discover(1)
+        levels.promote(1, 3)
+        assert levels.is_fully_inserted(1)
+
+    def test_promotion_requires_discovery(self):
+        levels = NeighborLevels(4)
+        with pytest.raises(NeighborLevelError):
+            levels.promote(9, 1)
+
+    def test_promotion_rejects_negative_level(self):
+        levels = NeighborLevels(4)
+        levels.discover(1)
+        with pytest.raises(NeighborLevelError):
+            levels.promote(1, -1)
+
+    def test_remove_drops_from_all_levels(self):
+        levels = NeighborLevels(4)
+        levels.add_fully_inserted(2)
+        levels.remove(2)
+        assert 2 not in levels
+        assert levels.members(0) == set()
+
+    def test_remove_unknown_is_noop(self):
+        levels = NeighborLevels(4)
+        levels.remove(99)
+        assert len(levels) == 0
+
+    def test_clear(self):
+        levels = NeighborLevels(4)
+        levels.discover(1)
+        levels.discover(2)
+        levels.clear()
+        assert len(levels) == 0
+
+    def test_members_negative_level_rejected(self):
+        with pytest.raises(NeighborLevelError):
+            NeighborLevels(4).members(-1)
+
+    def test_contains_at_level(self):
+        levels = NeighborLevels(4)
+        levels.discover(1)
+        levels.promote(1, 2)
+        assert levels.contains(1, 2)
+        assert not levels.contains(1, 3)
+        assert not levels.contains(5, 0)
+
+    def test_discovered_set(self):
+        levels = NeighborLevels(4)
+        levels.discover(1)
+        levels.add_fully_inserted(2)
+        assert levels.discovered() == {1, 2}
+
+    def test_subset_chain_lemma_5_1(self):
+        """Lemma 5.1: the level sets form a descending chain."""
+        levels = NeighborLevels(5)
+        levels.add_fully_inserted(0)
+        levels.discover(1)
+        levels.promote(1, 2)
+        levels.discover(2)
+        levels.promote(2, 4)
+        levels.discover(3)
+        assert levels.subset_chain_holds()
+        previous = levels.members(0)
+        for s in range(1, 6):
+            current = levels.members(s)
+            assert current.issubset(previous)
+            previous = current

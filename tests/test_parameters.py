@@ -1,0 +1,203 @@
+"""Tests for repro.core.parameters."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import DEFAULT_PARAMETERS, ParameterError, Parameters
+
+
+class TestValidation:
+    def test_default_parameters_are_valid(self):
+        DEFAULT_PARAMETERS.validate()
+
+    def test_sigma_matches_equation_8(self, params):
+        assert params.sigma == pytest.approx((1 - params.rho) * params.mu / (2 * params.rho))
+
+    def test_rho_out_of_range_rejected(self):
+        with pytest.raises(ParameterError):
+            Parameters(rho=0.0).validate()
+        with pytest.raises(ParameterError):
+            Parameters(rho=1.5).validate()
+
+    def test_mu_above_one_tenth_rejected(self):
+        with pytest.raises(ParameterError):
+            Parameters(rho=0.001, mu=0.2).validate()
+
+    def test_mu_too_small_for_sigma_rejected(self):
+        # mu must exceed 2*rho/(1-rho) for sigma > 1.
+        with pytest.raises(ParameterError):
+            Parameters(rho=0.05, mu=0.1).validate()
+
+    def test_strict_sigma_enforced_when_requested(self):
+        borderline = Parameters(rho=0.02, mu=0.1)  # sigma = 2.45
+        borderline.validate()
+        with pytest.raises(ParameterError):
+            borderline.validate(strict_sigma=True)
+
+    def test_negative_iota_rejected(self):
+        with pytest.raises(ParameterError):
+            Parameters(iota=-1.0).validate()
+
+    def test_kappa_margin_must_exceed_one(self):
+        with pytest.raises(ParameterError):
+            Parameters(kappa_margin=1.0).validate()
+
+    def test_delta_fraction_bounds(self):
+        with pytest.raises(ParameterError):
+            Parameters(delta_fraction=0.0).validate()
+        with pytest.raises(ParameterError):
+            Parameters(delta_fraction=1.0).validate()
+
+    def test_is_valid_reports_without_raising(self):
+        assert Parameters(rho=0.01, mu=0.1).is_valid()
+        assert not Parameters(rho=0.05, mu=0.1).is_valid()
+
+    def test_with_mu_and_with_rho_return_copies(self, params):
+        changed = params.with_mu(0.08)
+        assert changed.mu == 0.08
+        assert params.mu == 0.1
+        changed = params.with_rho(0.002)
+        assert changed.rho == 0.002
+        assert params.rho == 0.01
+
+
+class TestDerivedQuantities:
+    def test_rate_envelope(self, params):
+        assert params.alpha == pytest.approx(1 - params.rho)
+        assert params.beta == pytest.approx((1 + params.rho) * (1 + params.mu))
+        assert params.alpha < 1.0 < params.beta
+
+    def test_self_stabilization_rate_positive(self, params):
+        assert params.self_stabilization_rate > 0
+
+    def test_self_stabilization_rate_formula(self, params):
+        expected = params.mu * (1 - params.rho) - 2 * params.rho
+        assert params.self_stabilization_rate == pytest.approx(expected)
+
+    def test_b_constant_satisfies_equation_12_lower_end(self, tight_params):
+        assert tight_params.b_constant >= 320 * 2 ** 7
+
+    def test_fast_mode_always_catches_up(self, params):
+        # (1 + mu)(1 - rho) > 1 + rho must hold so fast nodes catch slow ones.
+        assert (1 + params.mu) * (1 - params.rho) > 1 + params.rho
+
+
+class TestEdgeQuantities:
+    def test_kappa_satisfies_equation_9(self, params):
+        epsilon, tau = 1.0, 0.5
+        kappa = params.kappa_for(epsilon, tau)
+        assert kappa > 4 * (epsilon + params.mu * tau)
+
+    def test_kappa_scales_with_epsilon(self, params):
+        assert params.kappa_for(2.0, 0.5) > params.kappa_for(1.0, 0.5)
+
+    def test_kappa_positive_even_for_zero_uncertainty(self, params):
+        assert params.kappa_for(0.0, 0.0) > 0
+
+    def test_kappa_rejects_negative_inputs(self, params):
+        with pytest.raises(ParameterError):
+            params.kappa_for(-1.0, 0.5)
+
+    def test_delta_in_open_interval(self, params):
+        epsilon, tau = 1.0, 0.5
+        kappa = params.kappa_for(epsilon, tau)
+        delta = params.delta_for(kappa, epsilon, tau)
+        assert 0 < delta < kappa / 2 - 2 * epsilon - 2 * params.mu * tau
+
+    def test_delta_rejects_too_small_kappa(self, params):
+        with pytest.raises(ParameterError):
+            params.delta_for(1.0, 1.0, 0.5)
+
+
+class TestInsertionDurations:
+    def test_static_duration_matches_equation_10(self, params):
+        g = 50.0
+        expected = (
+            20 * (1 + params.mu) / (1 - params.rho)
+            + 56 * params.mu
+            + (8 + 56 * params.mu) / params.sigma
+        ) * g / params.mu
+        assert params.insertion_duration(g) == pytest.approx(expected)
+
+    def test_static_duration_scales_linearly(self, params):
+        assert params.insertion_duration(100.0) == pytest.approx(
+            2 * params.insertion_duration(50.0)
+        )
+
+    def test_static_duration_rejects_nonpositive_bound(self, params):
+        with pytest.raises(ParameterError):
+            params.insertion_duration(0.0)
+
+    def test_dynamic_duration_is_power_of_two(self, tight_params):
+        duration = tight_params.insertion_duration_dynamic(10.0, 2.0, 0.5)
+        assert math.log2(duration) == pytest.approx(round(math.log2(duration)))
+
+    def test_dynamic_duration_at_least_ell(self, tight_params):
+        g, delay, tau = 10.0, 2.0, 0.5
+        ell = (1 + tight_params.rho) * (1 + tight_params.mu) * (delay + 2 * tau) + (
+            8 * tight_params.b_constant * g / tight_params.mu
+        )
+        assert tight_params.insertion_duration_dynamic(g, delay, tau) >= ell
+
+    def test_dynamic_duration_rejects_bad_inputs(self, tight_params):
+        with pytest.raises(ParameterError):
+            tight_params.insertion_duration_dynamic(0.0, 2.0, 0.5)
+        with pytest.raises(ParameterError):
+            tight_params.insertion_duration_dynamic(10.0, -1.0, 0.5)
+
+
+class TestLevelsAndGradient:
+    def test_levels_grow_with_global_skew(self, params):
+        assert params.levels_for(1000.0, 4.0) > params.levels_for(10.0, 4.0)
+
+    def test_levels_at_least_one(self, params):
+        assert params.levels_for(1.0, 4.0) == 1
+
+    def test_levels_override(self):
+        p = Parameters(rho=0.01, mu=0.1, max_level=7)
+        assert p.levels_for(1000.0, 4.0) == 7
+
+    def test_levels_rejects_nonpositive(self, params):
+        with pytest.raises(ParameterError):
+            params.levels_for(0.0, 4.0)
+
+    def test_gradient_sequence_non_increasing(self, params):
+        seq = params.gradient_sequence(100.0, 6)
+        assert all(seq[i] >= seq[i + 1] for i in range(1, 6))
+
+    def test_gradient_sequence_starts_at_twice_bound(self, params):
+        seq = params.gradient_sequence(100.0, 4)
+        assert seq[1] == pytest.approx(200.0)
+        assert seq[2] == pytest.approx(200.0)
+        assert seq[3] == pytest.approx(200.0 / params.sigma)
+
+    def test_gradient_sequence_rejects_zero_levels(self, params):
+        with pytest.raises(ParameterError):
+            params.gradient_sequence(100.0, 0)
+
+    def test_gradient_skew_bound_increases_with_distance(self, params):
+        g = 100.0
+        assert params.gradient_skew_bound(8.0, g) > params.gradient_skew_bound(4.0, g)
+
+    def test_gradient_skew_bound_zero_distance(self, params):
+        assert params.gradient_skew_bound(0.0, 100.0) == 0.0
+
+    def test_gradient_skew_bound_sublinear_in_distance_ratio(self, params):
+        # The bound per unit distance shrinks as the distance grows
+        # (the log(D/d) factor), which is the gradient property's signature.
+        g = 1000.0
+        per_unit_short = params.gradient_skew_bound(1.0, g) / 1.0
+        per_unit_long = params.gradient_skew_bound(100.0, g) / 100.0
+        assert per_unit_long < per_unit_short
+
+    def test_gradient_bound_reflects_log_base(self):
+        # A larger mu (larger sigma) gives a smaller bound at the same distance.
+        loose = Parameters(rho=0.01, mu=0.05)
+        tight = Parameters(rho=0.01, mu=0.1)
+        assert tight.gradient_skew_bound(2.0, 500.0) <= loose.gradient_skew_bound(2.0, 500.0)
+
+    def test_local_skew_bound_is_single_edge_gradient_bound(self, params):
+        assert params.local_skew_bound(4.2, 100.0) == pytest.approx(
+            params.gradient_skew_bound(4.2, 100.0)
+        )

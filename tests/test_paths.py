@@ -1,0 +1,105 @@
+"""Tests for repro.network.paths."""
+
+import pytest
+
+from repro.core.parameters import Parameters
+from repro.network import paths, topology
+from repro.network.dynamic_graph import GraphError
+from repro.network.edge import EdgeParams
+
+
+@pytest.fixture
+def weighted_line():
+    graph = topology.line(5, EdgeParams(epsilon=2.0, tau=0.5, delay=1.0))
+    return graph
+
+
+class TestWeights:
+    def test_epsilon_weight(self, weighted_line):
+        weight = paths.epsilon_weight(weighted_line)
+        assert weight(0, 1) == 2.0
+
+    def test_hop_weight(self, weighted_line):
+        weight = paths.hop_weight(weighted_line)
+        assert weight(0, 1) == 1.0
+
+    def test_kappa_weight(self, weighted_line):
+        params = Parameters(rho=0.01, mu=0.1)
+        weight = paths.kappa_weight(weighted_line, params)
+        assert weight(0, 1) == pytest.approx(params.kappa_for(2.0, 0.5))
+
+
+class TestPathHelpers:
+    def test_path_weight(self, weighted_line):
+        weight = paths.epsilon_weight(weighted_line)
+        assert paths.path_weight([0, 1, 2, 3], weight) == pytest.approx(6.0)
+
+    def test_path_weight_single_node(self, weighted_line):
+        assert paths.path_weight([2], paths.epsilon_weight(weighted_line)) == 0.0
+
+    def test_path_weight_empty_rejected(self, weighted_line):
+        with pytest.raises(GraphError):
+            paths.path_weight([], paths.epsilon_weight(weighted_line))
+
+    def test_path_exists(self, weighted_line):
+        assert paths.path_exists(weighted_line, [0, 1, 2])
+        assert not paths.path_exists(weighted_line, [0, 2])
+
+
+class TestDistances:
+    def test_shortest_distances_line(self, weighted_line):
+        dist = paths.shortest_distances(weighted_line, 0)
+        assert dist[4] == pytest.approx(8.0)
+        assert dist[0] == 0.0
+
+    def test_shortest_path_endpoints(self, weighted_line):
+        path = paths.shortest_path(weighted_line, 0, 4)
+        assert path == [0, 1, 2, 3, 4]
+
+    def test_shortest_path_prefers_shortcut(self):
+        graph = topology.line(5, EdgeParams(epsilon=1.0))
+        graph.add_edge(0, 4, EdgeParams(epsilon=1.5))
+        assert paths.shortest_path(graph, 0, 4) == [0, 4]
+        assert paths.weighted_distance(graph, 0, 4) == pytest.approx(1.5)
+
+    def test_unknown_node_rejected(self, weighted_line):
+        with pytest.raises(GraphError):
+            paths.shortest_distances(weighted_line, 99)
+
+    def test_no_path_raises(self):
+        graph = topology.from_edge_list(4, [(0, 1), (2, 3)])
+        with pytest.raises(GraphError):
+            paths.weighted_distance(graph, 0, 3)
+
+    def test_weighted_diameter_line(self, weighted_line):
+        assert paths.weighted_diameter(weighted_line) == pytest.approx(8.0)
+
+    def test_weighted_diameter_with_hop_weight(self, weighted_line):
+        assert paths.weighted_diameter(
+            weighted_line, paths.hop_weight(weighted_line)
+        ) == pytest.approx(4.0)
+
+    def test_weighted_diameter_requires_connected(self):
+        graph = topology.from_edge_list(4, [(0, 1), (2, 3)])
+        with pytest.raises(GraphError):
+            paths.weighted_diameter(graph)
+
+    def test_all_pairs_symmetric(self, weighted_line):
+        distances = paths.all_pairs_distances(weighted_line)
+        assert distances[(0, 3)] == distances[(3, 0)]
+        assert distances[(2, 2)] == 0.0
+
+    def test_pairs_at_distance(self, weighted_line):
+        pairs = paths.pairs_at_distance(weighted_line, 2.0, 2.0)
+        assert set(pairs) == {(0, 1), (1, 2), (2, 3), (3, 4)}
+
+    def test_matches_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        graph = topology.random_connected(12, 0.3, seed=5)
+        reference = networkx.Graph()
+        for key in graph.edges():
+            reference.add_edge(key.a, key.b, weight=graph.edge_params(key.a, key.b).epsilon)
+        expected = dict(networkx.shortest_path_length(reference, 0, weight="weight"))
+        measured = paths.shortest_distances(graph, 0)
+        for node, value in expected.items():
+            assert measured[node] == pytest.approx(value)

@@ -1,0 +1,67 @@
+"""Tests for repro.analysis.report."""
+
+import pytest
+
+from repro.analysis.report import Table, format_cell, format_series, ratio_summary
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(3.14159, 2) == "3.14"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_string_and_int(self):
+        assert format_cell("abc") == "abc"
+        assert format_cell(7) == "7"
+
+    def test_nan(self):
+        assert format_cell(float("nan")) == "nan"
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        table = Table("Demo", ["n", "skew"])
+        table.add_row(4, 1.23456)
+        table.add_row(8, 2.0)
+        text = table.render()
+        assert "Demo" in text
+        assert "1.235" in text
+        assert text.count("\n") >= 4
+
+    def test_row_length_checked(self):
+        table = Table("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_access(self):
+        table = Table("Demo", ["n", "skew"])
+        table.add_row(4, 1.0)
+        table.add_row(8, 2.0)
+        assert table.column("skew") == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            table.column("missing")
+
+    def test_alignment_width(self):
+        table = Table("T", ["name", "v"])
+        table.add_row("a-very-long-name", 1)
+        lines = table.render().splitlines()
+        header, data = lines[2], lines[4]
+        assert len(header) == len(data)
+
+
+class TestHelpers:
+    def test_format_series(self):
+        text = format_series("S", [(1, 2.0), (2, 3.0)], ["x", "y"])
+        assert "S" in text and "2.000" in text
+
+    def test_ratio_summary(self):
+        assert ratio_summary([2.0, 4.0], [1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_ratio_summary_ignores_zero_references(self):
+        assert ratio_summary([2.0, 4.0], [0.0, 2.0]) == pytest.approx(2.0)
+
+    def test_ratio_summary_empty(self):
+        assert ratio_summary([], []) is None

@@ -1,0 +1,117 @@
+"""Tests for repro.sim.events and repro.sim.scheduler."""
+
+import pytest
+
+from repro.sim.events import EventError, make_event
+from repro.sim.scheduler import EventScheduler
+
+
+class TestEvents:
+    def test_make_event(self):
+        fired = []
+        event = make_event(1.0, fired.append, "test")
+        event.fire()
+        assert fired == [1.0]
+
+    def test_cancelled_event_does_not_fire(self):
+        fired = []
+        event = make_event(1.0, fired.append)
+        event.cancel()
+        event.fire()
+        assert fired == []
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(EventError):
+            make_event(-1.0, lambda t: None)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(EventError):
+            make_event(1.0, "nope")
+
+    def test_events_order_by_time_then_sequence(self):
+        a = make_event(1.0, lambda t: None)
+        b = make_event(1.0, lambda t: None)
+        c = make_event(0.5, lambda t: None)
+        assert c < a < b
+
+
+class TestScheduler:
+    def test_schedule_and_run_due(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda t: fired.append(("a", t)))
+        scheduler.schedule(2.0, lambda t: fired.append(("b", t)))
+        assert scheduler.run_due(1.5) == 1
+        assert fired == [("a", 1.0)]
+        assert scheduler.run_due(3.0) == 1
+        assert len(scheduler) == 0
+
+    def test_due_events_fire_in_time_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(2.0, lambda t: fired.append(2.0))
+        scheduler.schedule(1.0, lambda t: fired.append(1.0))
+        scheduler.schedule(1.5, lambda t: fired.append(1.5))
+        scheduler.run_due(5.0)
+        assert fired == [1.0, 1.5, 2.0]
+
+    def test_ties_resolve_in_insertion_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda t: fired.append("first"))
+        scheduler.schedule(1.0, lambda t: fired.append("second"))
+        scheduler.run_due(1.0)
+        assert fired == ["first", "second"]
+
+    def test_peek_time(self):
+        scheduler = EventScheduler()
+        assert scheduler.peek_time() is None
+        scheduler.schedule(4.0, lambda t: None)
+        scheduler.schedule(2.0, lambda t: None)
+        assert scheduler.peek_time() == 2.0
+
+    def test_cancelled_events_skipped(self):
+        scheduler = EventScheduler()
+        fired = []
+        event = scheduler.schedule(1.0, lambda t: fired.append("cancelled"))
+        scheduler.schedule(1.0, lambda t: fired.append("kept"))
+        event.cancel()
+        scheduler.run_due(2.0)
+        assert fired == ["kept"]
+        assert scheduler.fired_count == 1
+
+    def test_callbacks_can_schedule_followups(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def first(t):
+            fired.append("first")
+            scheduler.schedule(t, lambda t2: fired.append("followup"))
+
+        scheduler.schedule(1.0, first)
+        scheduler.run_due(1.0)
+        assert fired == ["first", "followup"]
+
+    def test_runaway_zero_delay_loop_detected(self):
+        scheduler = EventScheduler()
+
+        def reschedule(t):
+            scheduler.schedule(t, reschedule)
+
+        scheduler.schedule(1.0, reschedule)
+        with pytest.raises(EventError):
+            scheduler.run_due(1.0)
+
+    def test_clear(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda t: None)
+        scheduler.clear()
+        assert len(scheduler) == 0
+        assert scheduler.run_due(5.0) == 0
+
+    def test_len_counts_pending_only(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda t: None)
+        event = scheduler.schedule(2.0, lambda t: None)
+        event.cancel()
+        assert len(scheduler) == 1

@@ -1,0 +1,59 @@
+"""Tests for repro.core.skew_estimates."""
+
+import pytest
+
+from repro.core.skew_estimates import (
+    DynamicGlobalSkewEstimate,
+    StaticGlobalSkewEstimate,
+    suggest_global_skew_bound,
+)
+from repro.network import topology
+from repro.network.edge import EdgeParams
+
+
+class TestStaticEstimate:
+    def test_constant_value(self):
+        estimate = StaticGlobalSkewEstimate(42.0)
+        assert estimate.value(0.0) == 42.0
+        assert estimate.value(1e6) == 42.0
+        assert not estimate.is_dynamic()
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            StaticGlobalSkewEstimate(0.0)
+
+
+class TestDynamicEstimate:
+    def test_uses_provider(self):
+        estimate = DynamicGlobalSkewEstimate(lambda t: 10.0 + t)
+        assert estimate.value(5.0) == 15.0
+        assert estimate.is_dynamic()
+
+    def test_floor_applies(self):
+        estimate = DynamicGlobalSkewEstimate(lambda t: 0.1, floor=2.0)
+        assert estimate.value(0.0) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicGlobalSkewEstimate("not callable")
+        with pytest.raises(ValueError):
+            DynamicGlobalSkewEstimate(lambda t: 1.0, floor=0.0)
+
+
+class TestSuggestGlobalSkewBound:
+    def test_larger_graphs_get_larger_bounds(self, params):
+        small = suggest_global_skew_bound(topology.line(4), params)
+        large = suggest_global_skew_bound(topology.line(16), params)
+        assert large > small
+
+    def test_bound_scales_with_edge_uncertainty(self, params):
+        loose = suggest_global_skew_bound(topology.line(6, EdgeParams(epsilon=4.0)), params)
+        tight = suggest_global_skew_bound(topology.line(6, EdgeParams(epsilon=1.0)), params)
+        assert loose > tight
+
+    def test_safety_factor_validated(self, params):
+        with pytest.raises(ValueError):
+            suggest_global_skew_bound(topology.line(4), params, safety_factor=0.5)
+
+    def test_bound_positive_for_single_pair(self, params):
+        assert suggest_global_skew_bound(topology.line(2), params) > 0

@@ -1,0 +1,129 @@
+"""Tests for repro.network.topology."""
+
+import pytest
+
+from repro.network import topology
+from repro.network.dynamic_graph import GraphError
+from repro.network.edge import EdgeParams
+
+
+class TestLine:
+    def test_line_structure(self):
+        graph = topology.line(5)
+        assert graph.node_count == 5
+        assert graph.edge_count() == 4
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 2)
+
+    def test_single_node_line(self):
+        graph = topology.line(1)
+        assert graph.node_count == 1
+        assert graph.edge_count() == 0
+
+    def test_line_is_connected(self):
+        assert topology.line(10).is_connected()
+
+    def test_line_edge_params_applied(self):
+        params = EdgeParams(epsilon=3.0)
+        graph = topology.line(4, params)
+        assert graph.edge_params(1, 2).epsilon == 3.0
+
+    def test_invalid_size(self):
+        with pytest.raises(GraphError):
+            topology.line(0)
+
+
+class TestRing:
+    def test_ring_structure(self):
+        graph = topology.ring(6)
+        assert graph.edge_count() == 6
+        assert graph.has_edge(5, 0)
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(GraphError):
+            topology.ring(2)
+
+    def test_ring_every_node_degree_two(self):
+        graph = topology.ring(7)
+        assert all(len(graph.symmetric_neighbors(v)) == 2 for v in graph.nodes)
+
+
+class TestStarAndComplete:
+    def test_star(self):
+        graph = topology.star(5)
+        assert graph.edge_count() == 4
+        assert len(graph.symmetric_neighbors(0)) == 4
+
+    def test_star_minimum_size(self):
+        with pytest.raises(GraphError):
+            topology.star(1)
+
+    def test_complete(self):
+        graph = topology.complete(5)
+        assert graph.edge_count() == 10
+        assert topology.hop_diameter(graph) == 1
+
+
+class TestGridAndTrees:
+    def test_grid_structure(self):
+        graph = topology.grid(3, 4)
+        assert graph.node_count == 12
+        assert graph.edge_count() == 3 * 3 + 2 * 4
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(0, 4)
+
+    def test_grid_invalid_dimensions(self):
+        with pytest.raises(GraphError):
+            topology.grid(0, 3)
+
+    def test_binary_tree(self):
+        graph = topology.binary_tree(3)
+        assert graph.node_count == 15
+        assert graph.edge_count() == 14
+        assert graph.is_connected()
+
+    def test_binary_tree_depth_zero(self):
+        graph = topology.binary_tree(0)
+        assert graph.node_count == 1
+
+    def test_random_tree_connected_and_acyclic(self):
+        graph = topology.random_tree(20, seed=3)
+        assert graph.is_connected()
+        assert graph.edge_count() == 19
+
+    def test_random_tree_deterministic_with_seed(self):
+        a = topology.random_tree(15, seed=7)
+        b = topology.random_tree(15, seed=7)
+        assert {tuple(e) for e in a.edges()} == {tuple(e) for e in b.edges()}
+
+
+class TestRandomConnected:
+    def test_connected(self):
+        graph = topology.random_connected(15, 0.2, seed=1)
+        assert graph.is_connected()
+
+    def test_extra_edges_added(self):
+        sparse = topology.random_connected(15, 0.0, seed=1)
+        dense = topology.random_connected(15, 0.5, seed=1)
+        assert dense.edge_count() > sparse.edge_count()
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(GraphError):
+            topology.random_connected(5, 1.5)
+
+
+class TestHelpers:
+    def test_from_edge_list(self):
+        graph = topology.from_edge_list(4, [(0, 1), (1, 2), (2, 3)])
+        assert graph.edge_count() == 3
+
+    def test_hop_diameter_line(self):
+        assert topology.hop_diameter(topology.line(6)) == 5
+
+    def test_hop_diameter_ring(self):
+        assert topology.hop_diameter(topology.ring(6)) == 3
+
+    def test_hop_diameter_requires_connected(self):
+        graph = topology.from_edge_list(4, [(0, 1), (2, 3)])
+        with pytest.raises(GraphError):
+            topology.hop_diameter(graph)
