@@ -16,7 +16,7 @@ verifies three facets of Theorem 5.6:
 
 import pytest
 
-from repro.analysis import report, skew, stabilization
+from repro.analysis import report
 from repro.lower_bounds import analytic
 
 from common import (
@@ -31,22 +31,22 @@ from common import (
 def collect_rows():
     rows = []
     for n in LINE_SIZES:
-        result, bound = line_scaling_run(n, "AOPT")
-        initial = result.trace.first().global_skew()
-        final = result.trace.final().global_skew()
-        halving_time = stabilization.global_skew_convergence_time(
-            result.trace, bound=initial / 2.0
-        )
+        run, bound = line_scaling_run(n, "AOPT")
+        summary = run.summary
         lower = analytic.global_skew_lower_bound([BENCH_EDGE.epsilon] * (n - 1))
         rows.append(
             {
                 "n": n,
                 "lower": lower,
-                "initial": initial,
-                "max": result.trace.max_global_skew(),
-                "final": final,
+                "initial": summary.initial_global_skew,
+                "max": summary.max_global_skew,
+                "final": summary.final_global_skew,
                 "bound": bound,
-                "halving_time": halving_time if halving_time is not None else float("nan"),
+                "halving_time": (
+                    summary.halving_time
+                    if summary.halving_time is not None
+                    else float("nan")
+                ),
             }
         )
     return rows

@@ -20,7 +20,7 @@ PROFILE_N = LINE_SIZES[-1]
 
 def collect_profile():
     result, bound = line_scaling_run(PROFILE_N, "AOPT")
-    graph = result.engine.graph
+    graph = result.graph
     points = gradient.profile(result.trace, graph, bound, BENCH_PARAMS)
     score = gradient.logarithmic_shape_score(points)
     return points, score, bound

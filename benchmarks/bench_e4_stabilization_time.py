@@ -13,29 +13,24 @@ end-to-end skew onto the old edges next to the endpoints.
 
 import pytest
 
-from repro.analysis import report, skew, stabilization
+from repro.analysis import report
 
-from common import INSERTION_SIZES, emit, insertion_run, kappa_default
+from common import INSERTION_SIZES, emit, insertion_run
 
 ALGORITHMS = ("AOPT", "ImmediateInsertion", "MaxPropagation")
 
 
 def measure(n, algorithm):
-    result, meta = insertion_run(n, algorithm)
-    u, v = meta["new_edge"]
-    criterion = 2.0 * kappa_default()
-    measurement = stabilization.stabilization_time(
-        result.trace, u, v, bound=criterion, event_time=meta["insertion_time"]
-    )
-    old_edges = [(i, i + 1) for i in range(n - 1)]
+    # The RunSummary already measures the new edge against the 2*kappa
+    # criterion and the old (pre-insertion) edges from the event onwards.
+    run, meta = insertion_run(n, algorithm)
+    summary = run.summary
     return {
         "stabilization": (
-            measurement.elapsed_since_event if measurement.stabilized else float("nan")
+            summary.stabilization_time if summary.stabilized else float("nan")
         ),
-        "skew_at_insertion": result.trace.sample_at(meta["insertion_time"]).skew(u, v),
-        "old_edge_skew": skew.max_local_skew(
-            result.trace, old_edges, start=meta["insertion_time"]
-        ),
+        "skew_at_insertion": summary.skew_at_event,
+        "old_edge_skew": summary.post_event_local_skew,
         "insertion_span": meta["insertion_span"],
     }
 

@@ -1,9 +1,16 @@
 """Shared scenario runners for the benchmark harness.
 
 All experiments of EXPERIMENTS.md are driven through the helpers in this
-module.  Heavy simulation runs are cached (keyed by their scenario
-parameters) so that experiments sharing a sweep (E1/E2/E3 and the two halves
-of E4) only pay for it once within a benchmark session.
+module, which since the introduction of :mod:`repro.experiments` are thin
+wrappers over the declarative subsystem: the E1--E4 sweeps are the named
+scenarios ``line_scaling`` and ``end_to_end_insertion`` of the registry, and
+runs go through an :class:`~repro.experiments.executor.ExperimentRunner`
+whose on-disk cache lives under ``benchmarks/results/cache/``.  Repeated
+sweeps (within a session *or* across sessions) are therefore free, and the
+in-process memoisation only retains the compact
+:class:`~repro.experiments.results.RunSummary` plus the trace -- not the
+engine -- so long benchmark sessions no longer hold every finished simulation
+alive.
 
 Every benchmark writes its table both to stdout (captured by pytest) and to
 ``benchmarks/results/<experiment>.txt`` so the numbers survive the run.
@@ -12,39 +19,35 @@ Every benchmark writes its table both to stdout (captured by pytest) and to
 from __future__ import annotations
 
 import functools
-import math
 from pathlib import Path
 from typing import Dict, Tuple
 
 from repro.analysis import report, skew
-from repro.baselines.hardware_only import hardware_only_factory
-from repro.baselines.immediate_insertion import immediate_insertion_factory
-from repro.baselines.max_algorithm import max_propagation_factory
-from repro.baselines.threshold_gradient import threshold_gradient_factory
-from repro.core.algorithm import aopt_factory
 from repro.core import insertion as insertion_mod
 from repro.core.parameters import Parameters
 from repro.core.skew_estimates import suggest_global_skew_bound
-from repro.network import dynamics, topology
-from repro.network.edge import EdgeParams
-from repro.sim.drift import TwoGroupAdversary, half_split
-from repro.sim.runner import (
-    SimulationConfig,
-    SimulationResult,
-    default_aopt_config,
-    run_simulation,
+from repro.experiments import ExperimentRun, ExperimentRunner, scenario
+from repro.experiments.registry import (
+    BENCHMARK_EDGE,
+    BENCHMARK_INSERTION_SCALE,
+    BENCHMARK_PARAMS,
 )
+from repro.network import topology
+from repro.network.edge import EdgeParams
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+CACHE_DIR = RESULTS_DIR / "cache"
 
 #: Parameters used by the scaling experiments: sigma = (1-rho)*mu/(2*rho) = 3.28.
-BENCH_PARAMS = Parameters(rho=0.015, mu=0.1)
-BENCH_EDGE = EdgeParams(epsilon=1.0, tau=0.5, delay=2.0)
+#: The canonical values live in :mod:`repro.experiments.registry` so scripts
+#: and declarative scenarios can never drift apart.
+BENCH_PARAMS = Parameters(**BENCHMARK_PARAMS)
+BENCH_EDGE = EdgeParams(**BENCHMARK_EDGE)
 
 #: Constant-factor reduction of the insertion duration of equation (10) used
 #: by the simulation experiments; the Theta(G/mu) scaling is preserved
 #: (EXPERIMENTS.md documents this substitution).
-INSERTION_SCALE = 0.02
+INSERTION_SCALE = BENCHMARK_INSERTION_SCALE
 FAST_INSERTION = insertion_mod.scaled_insertion_duration(INSERTION_SCALE)
 
 #: Line lengths used by the scaling sweeps (E1/E2/E3).
@@ -52,6 +55,10 @@ LINE_SIZES = (4, 8, 16, 24)
 
 #: Line lengths used by the stabilization sweep (E4).
 INSERTION_SIZES = (6, 10, 14)
+
+#: Shared runner: serial (benchmarks interleave analysis with runs) but
+#: cache-backed, so re-running an experiment re-uses previous sweeps.
+_RUNNER = ExperimentRunner(CACHE_DIR)
 
 
 def emit(table: report.Table, filename: str) -> None:
@@ -83,108 +90,35 @@ def global_skew_bound_for_line(n: int) -> float:
     return suggest_global_skew_bound(graph, BENCH_PARAMS)
 
 
-def _line_factory(algorithm: str, graph, config, bound):
-    if algorithm == "AOPT":
-        return aopt_factory(
-            default_aopt_config(
-                graph, config, global_skew_bound=bound, insertion_duration=FAST_INSERTION
-            )
-        )
-    if algorithm == "MaxPropagation":
-        return max_propagation_factory(BENCH_PARAMS.rho)
-    if algorithm == "ThresholdGradient":
-        # The single-level rule needs a Theta(sqrt(D))-sized threshold for its
-        # own global-skew argument (Locher & Wattenhofer); that threshold is
-        # exactly what its local skew degrades to.
-        threshold = kappa_default() * math.sqrt(graph.node_count) / 2.0
-        return threshold_gradient_factory(BENCH_PARAMS, threshold, blocking=True)
-    if algorithm == "HardwareOnly":
-        return hardware_only_factory()
-    raise ValueError(f"unknown algorithm {algorithm!r}")
-
-
 @functools.lru_cache(maxsize=None)
-def line_scaling_run(n: int, algorithm: str) -> Tuple[SimulationResult, float]:
-    """One run of the E1/E2/E3 sweep.
+def line_scaling_run(n: int, algorithm: str) -> Tuple[ExperimentRun, float]:
+    """One run of the E1/E2/E3 sweep (the ``line_scaling`` scenario).
 
     A line of ``n`` nodes starts from an adversarially pre-built ramp (about
     one ``kappa`` of skew per edge) and is driven by a periodically swapping
-    two-group drift adversary.  Returns the simulation result and the global
-    skew bound used by AOPT.
+    two-group drift adversary.  Returns the run (summary + trace, no engine)
+    and the global skew bound used by AOPT.
     """
-    graph = topology.line(n, BENCH_EDGE)
-    bound = global_skew_bound_for_line(n)
-    lower_half, upper_half = half_split(graph.nodes)
-    duration = 100.0 + 60.0 * n
-    config = SimulationConfig(
-        params=BENCH_PARAMS,
-        dt=0.1,
-        duration=duration,
-        sample_interval=1.0,
-        drift=TwoGroupAdversary(
-            BENCH_PARAMS.rho, upper_half, lower_half, swap_period=150.0
-        ),
-        estimate_strategy="toward_observer",
-        initial_logical=ramp_initial_profile(n, 0.95 * kappa_default()),
-    )
-    factory = _line_factory(algorithm, graph, config, bound)
-    result = run_simulation(graph, factory, config)
-    return result, bound
-
-
-def steady_window_start(result: SimulationResult, fraction: float = 0.25) -> float:
-    """Start of the steady-state measurement window (last ``fraction`` of the run)."""
-    return skew.steady_state_window(result.trace, fraction=fraction)[0]
+    run = _RUNNER.run(scenario("line_scaling", n=n, algorithm=algorithm))
+    return run, run.meta["reference_global_skew_bound"]
 
 
 @functools.lru_cache(maxsize=None)
-def insertion_run(n: int, algorithm: str) -> Tuple[SimulationResult, dict]:
-    """One run of the E4 sweep: a line whose endpoints become adjacent.
+def insertion_run(n: int, algorithm: str) -> Tuple[ExperimentRun, dict]:
+    """One run of the E4 sweep (the ``end_to_end_insertion`` scenario).
 
     The line starts from the pre-built ramp, so the two endpoints of the new
     edge carry skew proportional to the diameter when the edge appears.
     """
-    insertion_time = 30.0
-    scenario = dynamics.line_with_end_to_end_insertion(
-        n, insertion_time=insertion_time, params=BENCH_EDGE
-    )
-    initial_ramp = 0.95 * kappa_default()
-    # The bound handed to the algorithm must dominate the pre-built skew
-    # (assumption (6) of the paper).
-    bound = max(global_skew_bound_for_line(n), 1.1 * initial_ramp * (n - 1))
-    lower_half, upper_half = half_split(scenario.graph.nodes)
-    insertion_span = INSERTION_SCALE * BENCH_PARAMS.insertion_duration(bound)
-    duration = insertion_time + 2.4 * insertion_span + 120.0
-    config = SimulationConfig(
-        params=BENCH_PARAMS,
-        dt=0.1,
-        duration=duration,
-        sample_interval=1.0,
-        drift=TwoGroupAdversary(BENCH_PARAMS.rho, upper_half, lower_half),
-        estimate_strategy="toward_observer",
-        initial_logical=ramp_initial_profile(n, initial_ramp),
-    )
-    aopt_config = default_aopt_config(
-        scenario.graph,
-        config,
-        global_skew_bound=bound,
-        insertion_duration=FAST_INSERTION,
-        immediate_insertion=(algorithm == "ImmediateInsertion"),
-    )
-    if algorithm == "AOPT":
-        factory = aopt_factory(aopt_config)
-    elif algorithm == "ImmediateInsertion":
-        factory = immediate_insertion_factory(aopt_config)
-    elif algorithm == "MaxPropagation":
-        factory = max_propagation_factory(BENCH_PARAMS.rho)
-    else:
-        raise ValueError(f"unknown algorithm {algorithm!r}")
-    result = run_simulation(scenario.graph, factory, config)
+    run = _RUNNER.run(scenario("end_to_end_insertion", n=n, algorithm=algorithm))
     meta = {
-        "new_edge": scenario.new_edge,
-        "insertion_time": insertion_time,
-        "global_skew_bound": bound,
-        "insertion_span": insertion_span,
-        "duration": duration,
+        key: run.meta[key]
+        for key in (
+            "new_edge",
+            "insertion_time",
+            "global_skew_bound",
+            "insertion_span",
+            "duration",
+        )
     }
-    return result, meta
+    return run, meta

@@ -17,5 +17,10 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
-    install_requires=["numpy"],
+    install_requires=[],
+    entry_points={
+        "console_scripts": [
+            "repro-experiments = repro.experiments.cli:main",
+        ]
+    },
 )

@@ -1,0 +1,60 @@
+"""Declarative experiment orchestration: specs, registries, sweeps, caching.
+
+The subsystem turns "one scenario, one script" into "declare a sweep, run it
+in parallel, cache it on disk":
+
+* :mod:`repro.experiments.spec` -- frozen, JSON-serialisable
+  :class:`~repro.experiments.spec.ScenarioSpec` with a stable content hash;
+* :mod:`repro.experiments.registry` -- named topology/dynamics/drift/delay/
+  algorithm factories plus named end-to-end scenarios;
+* :mod:`repro.experiments.executor` -- grid expansion, a multiprocessing
+  sweep runner and the content-addressed on-disk result cache;
+* :mod:`repro.experiments.results` -- the compact
+  :class:`~repro.experiments.results.RunSummary` workers return instead of
+  whole engines;
+* :mod:`repro.experiments.cli` -- the ``python -m repro.experiments``
+  command line (``list`` / ``run`` / ``sweep`` / ``cache``).
+"""
+
+from .executor import (
+    ExperimentRun,
+    ExperimentRunner,
+    SweepStats,
+    execute_spec,
+    expand_grid,
+)
+from .registry import (
+    ALGORITHMS,
+    DELAYS,
+    DRIFTS,
+    DYNAMICS,
+    SCENARIOS,
+    TOPOLOGIES,
+    MaterialisedScenario,
+    build_scenario,
+    scenario,
+)
+from .results import RunSummary, summarize
+from .spec import ComponentSpec, ScenarioSpec, SpecError
+
+__all__ = [
+    "ALGORITHMS",
+    "DELAYS",
+    "DRIFTS",
+    "DYNAMICS",
+    "SCENARIOS",
+    "TOPOLOGIES",
+    "ComponentSpec",
+    "ExperimentRun",
+    "ExperimentRunner",
+    "MaterialisedScenario",
+    "RunSummary",
+    "ScenarioSpec",
+    "SpecError",
+    "SweepStats",
+    "build_scenario",
+    "execute_spec",
+    "expand_grid",
+    "scenario",
+    "summarize",
+]

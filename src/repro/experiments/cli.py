@@ -1,0 +1,302 @@
+"""Command-line interface for the experiments subsystem.
+
+::
+
+    python -m repro.experiments list
+    python -m repro.experiments run line_scaling --set n=8
+    python -m repro.experiments sweep line_scaling --grid n=4,8,16 \\
+        --grid algorithm=AOPT,MaxPropagation --workers 4
+
+``--set key=value`` passes builder arguments to the named scenario; dotted
+keys populate nested mappings (``--set sim.duration=40`` shrinks the run).
+``--grid key=v1,v2,...`` adds a sweep axis; the sweep runs the cartesian
+product of all axes.  Values are parsed as Python literals when possible and
+fall back to strings.
+
+Results are cached under ``benchmarks/results/cache/`` (override with
+``--cache-dir`` or ``$REPRO_EXPERIMENTS_CACHE_DIR``); a repeated sweep is
+served entirely from cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..analysis import report
+from . import executor, registry
+
+
+class CliError(Exception):
+    """A user-input problem (bad scenario arguments), reported without a traceback."""
+
+
+def _parse_value(text: str) -> Any:
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _assign(target: Dict[str, Any], dotted_key: str, value: Any) -> None:
+    parts = dotted_key.split(".")
+    for part in parts[:-1]:
+        target = target.setdefault(part, {})
+        if not isinstance(target, dict):
+            raise argparse.ArgumentTypeError(
+                f"cannot nest into non-mapping override {part!r}"
+            )
+    target[parts[-1]] = value
+
+
+def _parse_overrides(items: Optional[Sequence[str]]) -> Dict[str, Any]:
+    overrides: Dict[str, Any] = {}
+    for item in items or []:
+        if "=" not in item:
+            raise argparse.ArgumentTypeError(
+                f"--set expects key=value, got {item!r}"
+            )
+        key, _, raw = item.partition("=")
+        _assign(overrides, key.strip(), _parse_value(raw.strip()))
+    return overrides
+
+
+def _parse_grid(items: Optional[Sequence[str]]) -> Dict[str, List[Any]]:
+    grid: Dict[str, List[Any]] = {}
+    for item in items or []:
+        if "=" not in item:
+            raise argparse.ArgumentTypeError(
+                f"--grid expects key=v1,v2,..., got {item!r}"
+            )
+        key, _, raw = item.partition("=")
+        grid[key.strip()] = [_parse_value(v.strip()) for v in raw.split(",") if v.strip()]
+    return grid
+
+
+def _fmt(value: Any) -> Any:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return value
+
+
+def _summary_table(title: str, runs: Sequence[executor.ExperimentRun]) -> report.Table:
+    table = report.Table(
+        title,
+        [
+            "label",
+            "hash",
+            "nodes",
+            "init gskew",
+            "max gskew",
+            "final gskew",
+            "max lskew",
+            "stab time",
+            "violations",
+            "cached",
+        ],
+    )
+    for run in runs:
+        summary = run.summary
+        table.add_row(
+            summary.label or run.spec.topology.name,
+            run.spec.short_hash(),
+            summary.node_count,
+            summary.initial_global_skew,
+            summary.max_global_skew,
+            summary.final_global_skew,
+            summary.max_local_skew,
+            _fmt(summary.stabilization_time),
+            _fmt(summary.gradient_violations),
+            _fmt(run.from_cache),
+        )
+    return table
+
+
+def _make_runner(args: argparse.Namespace) -> executor.ExperimentRunner:
+    return executor.ExperimentRunner(
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+    )
+
+
+def _emit_runs(
+    args: argparse.Namespace,
+    title: str,
+    runs: Sequence[executor.ExperimentRun],
+    stats: executor.SweepStats,
+) -> None:
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "runs": [
+                        {
+                            "spec": run.spec.to_dict(),
+                            "spec_hash": run.spec.content_hash(),
+                            "summary": run.summary.to_dict(),
+                            "from_cache": run.from_cache,
+                        }
+                        for run in runs
+                    ],
+                    "stats": {
+                        "total": stats.total,
+                        "cached": stats.cached,
+                        "executed": stats.executed,
+                        "wall_time": stats.wall_time,
+                    },
+                },
+                indent=2,
+            )
+        )
+        return
+    print("\n" + _summary_table(title, runs).render() + "\n")
+    print(stats.describe())
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("scenarios:")
+    for name in registry.SCENARIOS.names():
+        doc = (registry.SCENARIOS.get(name).__doc__ or "").strip().splitlines()
+        blurb = doc[0] if doc else ""
+        print(f"  {name:32s} {blurb}")
+    print(f"topologies: {', '.join(registry.TOPOLOGIES.names())}")
+    print(f"dynamics:   {', '.join(registry.DYNAMICS.names())}")
+    print(f"drifts:     {', '.join(registry.DRIFTS.names())}")
+    print(f"delays:     {', '.join(registry.DELAYS.names())}")
+    print(
+        f"algorithms: {', '.join(registry.ALGORITHMS.names())} "
+        f"(aliases: {', '.join(sorted(registry.ALGORITHM_ALIASES))})"
+    )
+    return 0
+
+
+def _check_user_input(fn, *fn_args, **fn_kwargs):
+    """Call a spec-construction/validation function with user-friendly errors.
+
+    Only spec construction and materialisation are wrapped: bad builder
+    arguments (wrong name, wrong type, unknown keyword) become a one-line
+    ``error:``, while genuine bugs during simulation execution still surface
+    with a full traceback.
+    """
+    try:
+        return fn(*fn_args, **fn_kwargs)
+    except (ValueError, TypeError) as exc:
+        raise CliError(str(exc)) from exc
+
+
+def _validate_specs(specs) -> None:
+    """Materialise each spec once (no simulation) so bad arguments fail fast."""
+    for spec in specs:
+        _check_user_input(registry.build_scenario, spec)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    overrides = _parse_overrides(args.set)
+    spec = _check_user_input(registry.scenario, args.scenario, **overrides)
+    _validate_specs([spec])
+    runner = _make_runner(args)
+    runs, stats = runner.run_all([spec])
+    _emit_runs(args, f"run: {spec.label or args.scenario}", runs, stats)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    overrides = _parse_overrides(args.set)
+    grid = _parse_grid(args.grid)
+    if not grid:
+        raise argparse.ArgumentTypeError("sweep needs at least one --grid axis")
+    specs = _check_user_input(executor.expand_grid, args.scenario, grid, base=overrides)
+    _validate_specs(specs)
+    runner = _make_runner(args)
+    runs, stats = runner.run_all(specs)
+    axes = " x ".join(f"{key}({len(values)})" for key, values in grid.items())
+    _emit_runs(args, f"sweep: {args.scenario} over {axes}", runs, stats)
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    runner = executor.ExperimentRunner(cache_dir=args.cache_dir)
+    if args.clear:
+        removed = runner.clear_cache()
+        print(f"removed {removed} cache entries from {runner.cache_dir}")
+        return 0
+    entries = sorted(runner.cache_dir.glob("*.json")) if runner.cache_dir.is_dir() else []
+    print(f"{len(entries)} cache entries in {runner.cache_dir}")
+    for entry in entries:
+        print(f"  {entry.name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Declarative scenario runner for the PODC'10 reproduction.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser(
+        "list", help="list registered scenarios and components"
+    ).set_defaults(handler=cmd_list)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="scenario builder argument (dotted keys nest, e.g. sim.duration=40)",
+    )
+    common.add_argument("--workers", type=int, default=1, help="worker processes")
+    common.add_argument("--cache-dir", default=None, help="result cache directory")
+    common.add_argument(
+        "--no-cache", action="store_true", help="run without reading or writing the cache"
+    )
+    common.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    run_parser = subparsers.add_parser(
+        "run", parents=[common], help="run one named scenario"
+    )
+    run_parser.add_argument("scenario", help="scenario name (see `list`)")
+    run_parser.set_defaults(handler=cmd_run)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", parents=[common], help="run the cartesian product of a parameter grid"
+    )
+    sweep_parser.add_argument("scenario", help="scenario name (see `list`)")
+    sweep_parser.add_argument(
+        "--grid",
+        action="append",
+        metavar="KEY=V1,V2,...",
+        help="sweep axis (repeatable; the sweep is the cartesian product)",
+    )
+    sweep_parser.set_defaults(handler=cmd_sweep)
+
+    cache_parser = subparsers.add_parser("cache", help="inspect or clear the result cache")
+    cache_parser.add_argument("--cache-dir", default=None)
+    cache_parser.add_argument("--clear", action="store_true", help="delete all entries")
+    cache_parser.set_defaults(handler=cmd_cache)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (
+        registry.RegistryError,
+        executor.ExecutorError,
+        argparse.ArgumentTypeError,
+        CliError,
+    ) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

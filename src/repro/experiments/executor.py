@@ -1,0 +1,308 @@
+"""Parallel sweep execution with an on-disk result cache.
+
+The executor turns specs into runs:
+
+* :func:`execute_spec` materialises one spec, runs the engine and returns a
+  plain-JSON payload (summary + trace + metadata) -- the *only* thing that
+  crosses process boundaries, so workers never pickle engines;
+* :class:`ExperimentRunner` runs batches of specs across a
+  ``multiprocessing`` pool, consulting a content-hash-keyed cache directory
+  (``benchmarks/results/cache/`` by default) first.  Because every source of
+  randomness is seeded from the spec hash (see
+  :mod:`repro.experiments.registry`), a parallel sweep is bit-identical to a
+  serial one, and a repeated sweep is served entirely from cache;
+* :func:`expand_grid` expands a named scenario and a parameter grid into the
+  cartesian product of specs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .. import __version__ as _library_version
+from ..sim.runner import build_engine
+from . import registry
+from .results import RunSummary, summarize, trace_from_payload, trace_to_payload
+from .spec import ScenarioSpec
+
+#: Bumped when the cache payload layout changes; mismatching entries are
+#: treated as cache misses and overwritten.
+CACHE_FORMAT_VERSION = 1
+
+_CACHE_DIR_ENV = "REPRO_EXPERIMENTS_CACHE_DIR"
+
+
+class ExecutorError(RuntimeError):
+    """Raised on invalid executor configuration."""
+
+
+def default_cache_dir() -> Path:
+    """Where results go when no cache directory is given explicitly.
+
+    ``$REPRO_EXPERIMENTS_CACHE_DIR`` wins; otherwise
+    ``benchmarks/results/cache`` when run from a checkout (the cwd has a
+    ``benchmarks/`` directory), falling back to a per-user cache so an
+    installed ``repro-experiments`` never litters arbitrary working
+    directories with ``benchmarks/`` trees.
+    """
+    override = os.environ.get(_CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    if Path("benchmarks").is_dir():
+        return Path("benchmarks/results/cache")
+    return Path.home() / ".cache" / "repro-experiments"
+
+
+# ----------------------------------------------------------------------
+# Single-spec execution (runs inside workers)
+# ----------------------------------------------------------------------
+def _meta_to_payload(meta: Dict[str, Any]) -> Dict[str, Any]:
+    payload = dict(meta)
+    if "new_edge" in payload:
+        payload["new_edge"] = list(payload["new_edge"])
+    if "churn_candidates" in payload:
+        payload["churn_candidates"] = [list(e) for e in payload["churn_candidates"]]
+    return payload
+
+
+def _meta_from_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    meta = dict(payload)
+    if "new_edge" in meta:
+        meta["new_edge"] = tuple(meta["new_edge"])
+    if "churn_candidates" in meta:
+        meta["churn_candidates"] = [tuple(e) for e in meta["churn_candidates"]]
+    return meta
+
+
+def execute_spec(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Run one spec to completion and return the cacheable payload."""
+    started = time.perf_counter()
+    scenario = registry.build_scenario(spec)
+    engine = build_engine(scenario.graph, scenario.algorithm_factory, scenario.config)
+    trace = engine.run(scenario.config.duration)
+    summary = summarize(
+        spec=spec,
+        trace=trace,
+        graph=scenario.graph,
+        base_edges=scenario.base_edges,
+        config=scenario.config,
+        meta=scenario.meta,
+        global_skew_bound=scenario.global_skew_bound,
+        engine=engine,
+    )
+    return {
+        "format": CACHE_FORMAT_VERSION,
+        "library_version": _library_version,
+        "spec": spec.to_dict(),
+        "spec_hash": spec.content_hash(),
+        "summary": summary.to_dict(),
+        "meta": _meta_to_payload(scenario.meta),
+        "trace": trace_to_payload(trace),
+        "wall_time": time.perf_counter() - started,
+    }
+
+
+def _pool_worker(spec_payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Top-level (hence picklable) worker entry point."""
+    return execute_spec(ScenarioSpec.from_dict(spec_payload))
+
+
+# ----------------------------------------------------------------------
+# Runs and sweep bookkeeping
+# ----------------------------------------------------------------------
+@dataclass
+class ExperimentRun:
+    """One executed (or cache-served) spec: summary, trace and metadata."""
+
+    spec: ScenarioSpec
+    summary: RunSummary
+    trace: Any
+    meta: Dict[str, Any]
+    from_cache: bool = False
+    wall_time: float = 0.0
+
+    @property
+    def graph(self):
+        """Rebuild the (pre-run) dynamic graph of this spec on demand."""
+        return registry.build_graph(self.spec)[0]
+
+
+@dataclass
+class SweepStats:
+    """How a batch of specs was satisfied."""
+
+    total: int = 0
+    cached: int = 0
+    executed: int = 0
+    wall_time: float = 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.total} spec(s): {self.cached} from cache, "
+            f"{self.executed} executed in {self.wall_time:.1f}s"
+        )
+
+
+def _run_from_payload(
+    spec: ScenarioSpec, payload: Dict[str, Any], from_cache: bool
+) -> ExperimentRun:
+    return ExperimentRun(
+        spec=spec,
+        summary=RunSummary.from_dict(payload["summary"]),
+        trace=trace_from_payload(payload["trace"]),
+        meta=_meta_from_payload(payload.get("meta", {})),
+        from_cache=from_cache,
+        wall_time=payload.get("wall_time", 0.0),
+    )
+
+
+class ExperimentRunner:
+    """Run specs with on-disk caching and an optional worker pool.
+
+    ``stats`` accumulates over the runner's lifetime; :meth:`run_all` also
+    returns the stats of that one batch.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[os.PathLike] = None,
+        *,
+        workers: int = 1,
+        use_cache: bool = True,
+    ):
+        if workers < 1:
+            raise ExecutorError(f"workers must be >= 1, got {workers}")
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.workers = workers
+        self.use_cache = use_cache
+        self.stats = SweepStats()
+
+    # -- cache ----------------------------------------------------------
+    def cache_path(self, spec: ScenarioSpec) -> Path:
+        return self.cache_dir / f"{spec.content_hash()}.json"
+
+    def load_cached(self, spec: ScenarioSpec) -> Optional[Dict[str, Any]]:
+        path = self.cache_path(spec)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("format") != CACHE_FORMAT_VERSION:
+            return None
+        # Entries written by another library version may embody different
+        # simulation semantics; treat them as misses.  (Within one version,
+        # clear the cache manually after editing simulation code.)
+        if payload.get("library_version") != _library_version:
+            return None
+        if payload.get("spec_hash") != spec.content_hash():
+            return None
+        return payload
+
+    def store(self, spec: ScenarioSpec, payload: Dict[str, Any]) -> Path:
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.cache_path(spec)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+        return path
+
+    def clear_cache(self) -> int:
+        """Delete every cache entry; returns the number of files removed.
+
+        Also sweeps ``*.tmp.<pid>`` leftovers from interrupted writes.
+        """
+        removed = 0
+        if self.cache_dir.is_dir():
+            for pattern in ("*.json", "*.tmp.*"):
+                for entry in self.cache_dir.glob(pattern):
+                    entry.unlink()
+                    removed += 1
+        return removed
+
+    # -- execution ------------------------------------------------------
+    def run(self, spec: ScenarioSpec, *, workers: Optional[int] = None) -> ExperimentRun:
+        return self.run_all([spec], workers=workers)[0][0]
+
+    def run_all(
+        self, specs: Sequence[ScenarioSpec], *, workers: Optional[int] = None
+    ) -> Tuple[List[ExperimentRun], SweepStats]:
+        """Run a batch of specs, preserving input order.
+
+        Cache hits are served directly; the misses are executed either inline
+        (``workers == 1``) or on a ``multiprocessing`` pool.  Results are
+        written back to the cache before returning.
+        """
+        workers = self.workers if workers is None else workers
+        if workers < 1:
+            raise ExecutorError(f"workers must be >= 1, got {workers}")
+        started = time.perf_counter()
+        batch = SweepStats(total=len(specs))
+        outcomes: Dict[int, Tuple[Dict[str, Any], bool]] = {}
+        missing: List[Tuple[int, ScenarioSpec]] = []
+        for index, spec in enumerate(specs):
+            payload = self.load_cached(spec) if self.use_cache else None
+            if payload is not None:
+                outcomes[index] = (payload, True)
+                batch.cached += 1
+            else:
+                missing.append((index, spec))
+
+        if missing:
+            if workers > 1 and len(missing) > 1:
+                with multiprocessing.Pool(min(workers, len(missing))) as pool:
+                    payloads = pool.map(
+                        _pool_worker, [spec.to_dict() for _, spec in missing]
+                    )
+            else:
+                payloads = [execute_spec(spec) for _, spec in missing]
+            for (index, spec), payload in zip(missing, payloads):
+                if self.use_cache:
+                    self.store(spec, payload)
+                outcomes[index] = (payload, False)
+                batch.executed += 1
+
+        batch.wall_time = time.perf_counter() - started
+        self.stats.total += batch.total
+        self.stats.cached += batch.cached
+        self.stats.executed += batch.executed
+        self.stats.wall_time += batch.wall_time
+        runs = [
+            _run_from_payload(specs[index], *outcomes[index])
+            for index in range(len(specs))
+        ]
+        return runs, batch
+
+
+# ----------------------------------------------------------------------
+# Grid expansion
+# ----------------------------------------------------------------------
+def expand_grid(
+    scenario_name: str,
+    grid: Mapping[str, Iterable[Any]],
+    *,
+    base: Optional[Mapping[str, Any]] = None,
+) -> List[ScenarioSpec]:
+    """Cartesian product of builder arguments for a named scenario.
+
+    ``expand_grid("line_scaling", {"n": [4, 8], "algorithm": ["AOPT",
+    "MaxPropagation"]})`` yields four specs.  ``base`` supplies fixed builder
+    arguments shared by every point of the grid.
+    """
+    keys = list(grid)
+    value_lists = [list(grid[key]) for key in keys]
+    for key, values in zip(keys, value_lists):
+        if not values:
+            raise ExecutorError(f"grid axis {key!r} has no values")
+    specs = []
+    for combo in itertools.product(*value_lists):
+        kwargs = dict(base or {})
+        kwargs.update(zip(keys, combo))
+        specs.append(registry.scenario(scenario_name, **kwargs))
+    return specs

@@ -1,0 +1,196 @@
+"""Compact, picklable run summaries extracted from traces.
+
+A :class:`RunSummary` carries every scalar the benchmark suite reports --
+global/local skew statistics, convergence and stabilization times, violation
+counts -- without holding on to the :class:`~repro.sim.engine.Engine` (whose
+per-node algorithm objects, estimate layers and message queues dominate the
+memory of a finished run).  Workers in the sweep executor therefore return a
+``RunSummary`` plus the (plain-data) :class:`~repro.sim.trace.Trace`, both of
+which serialise to JSON for the on-disk cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..analysis import gradient, skew, stabilization
+from ..sim.runner import minimum_kappa
+from ..sim.trace import Trace, TraceSample
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Scalar outcome of one simulation run (small, picklable, JSON-able)."""
+
+    label: str
+    spec_hash: str
+    node_count: int
+    base_edge_count: int
+    sample_count: int
+    duration: float
+    # Global skew over the whole trace.
+    initial_global_skew: float
+    max_global_skew: float
+    final_global_skew: float
+    #: First time the global skew halves its initial value and stays halved.
+    halving_time: Optional[float]
+    # Local skew over the edges present at time zero.
+    max_local_skew: float
+    # Steady state: the last quarter of the run.
+    steady_global_skew: float
+    steady_local_skew: float
+    #: The bound G~ the algorithm was configured with (None for baselines).
+    global_skew_bound: Optional[float]
+    #: Gradient-bound violations (None when churn makes distances ambiguous).
+    gradient_violations: Optional[int]
+    #: Nodes whose neighbor levels break the Lemma 5.1 subset chain.
+    broken_level_chains: Optional[int]
+    # Edge-insertion scenarios (None elsewhere).
+    event_time: Optional[float] = None
+    skew_at_event: Optional[float] = None
+    stabilized: Optional[bool] = None
+    stabilization_time: Optional[float] = None
+    post_event_local_skew: Optional[float] = None
+    #: (node, sample) counts per algorithm mode (fast / slow).
+    #: (Wall-clock time lives on the ExperimentRun, not here: summaries must
+    #: be bit-identical between serial, parallel and cached executions.)
+    mode_counts: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunSummary":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+def summarize(
+    *,
+    spec,
+    trace: Trace,
+    graph,
+    base_edges: List[Edge],
+    config,
+    meta: Dict[str, Any],
+    global_skew_bound: Optional[float],
+    engine=None,
+) -> RunSummary:
+    """Extract a :class:`RunSummary` from a finished run.
+
+    ``engine`` is optional: when available (always, inside a worker) the
+    per-node invariants that need live algorithm state are checked too.
+    """
+    initial = trace.first().global_skew() if len(trace) else 0.0
+    final = trace.final().global_skew() if len(trace) else 0.0
+    halving_time = None
+    if initial > 0.0:
+        halving_time = stabilization.global_skew_convergence_time(
+            trace, bound=initial / 2.0
+        )
+    steady_start, steady_end = (0.0, 0.0)
+    if len(trace):
+        steady_start, steady_end = skew.steady_state_window(trace, fraction=0.25)
+
+    gradient_violations: Optional[int] = None
+    if spec.dynamics is None and global_skew_bound is not None and len(trace):
+        gradient_violations = len(
+            gradient.check_trace(trace, graph, global_skew_bound, config.params)
+        )
+
+    event_time = meta.get("insertion_time")
+    skew_at_event = stabilized = stabilization_time = post_event = None
+    if event_time is not None and "new_edge" in meta and len(trace):
+        u, v = meta["new_edge"]
+        criterion = 2.0 * minimum_kappa(graph, config.params)
+        measurement = stabilization.stabilization_time(
+            trace, u, v, bound=criterion, event_time=event_time
+        )
+        skew_at_event = trace.sample_at(event_time).skew(u, v)
+        stabilized = measurement.stabilized
+        stabilization_time = measurement.elapsed_since_event
+        post_event = skew.max_local_skew(trace, base_edges, start=event_time)
+
+    broken_chains: Optional[int] = None
+    if engine is not None:
+        checks = []
+        for node in engine.nodes:
+            algorithm = engine.algorithm(node)
+            levels = getattr(algorithm, "levels", None)
+            if levels is not None and hasattr(levels, "subset_chain_holds"):
+                checks.append(0 if levels.subset_chain_holds() else 1)
+        if checks:
+            broken_chains = sum(checks)
+
+    return RunSummary(
+        label=spec.label,
+        spec_hash=spec.content_hash(),
+        node_count=graph.node_count,
+        base_edge_count=len(base_edges),
+        sample_count=len(trace),
+        duration=config.duration,
+        initial_global_skew=initial,
+        max_global_skew=trace.max_global_skew(),
+        final_global_skew=final,
+        halving_time=halving_time,
+        max_local_skew=skew.max_local_skew(trace, base_edges),
+        steady_global_skew=skew.max_global_skew(trace, start=steady_start),
+        steady_local_skew=skew.max_local_skew(trace, base_edges, start=steady_start),
+        global_skew_bound=global_skew_bound,
+        gradient_violations=gradient_violations,
+        broken_level_chains=broken_chains,
+        event_time=event_time,
+        skew_at_event=skew_at_event,
+        stabilized=stabilized,
+        stabilization_time=stabilization_time,
+        post_event_local_skew=post_event,
+        mode_counts=trace.mode_counts(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Trace (de)serialisation for the on-disk cache
+# ----------------------------------------------------------------------
+def trace_to_payload(trace: Trace) -> Dict[str, Any]:
+    """Plain-JSON representation of a trace (node ids become strings)."""
+    return {
+        "sample_interval": trace.sample_interval,
+        "samples": [
+            {
+                "time": sample.time,
+                "logical": {str(k): v for k, v in sample.logical.items()},
+                "hardware": {str(k): v for k, v in sample.hardware.items()},
+                "multipliers": {str(k): v for k, v in sample.multipliers.items()},
+                "modes": {str(k): v for k, v in sample.modes.items()},
+                "max_estimates": {
+                    str(k): v for k, v in sample.max_estimates.items()
+                },
+                "diameter": sample.diameter,
+            }
+            for sample in trace
+        ],
+    }
+
+
+def trace_from_payload(payload: Dict[str, Any]) -> Trace:
+    """Rebuild a trace from :func:`trace_to_payload` output."""
+    trace = Trace(sample_interval=payload.get("sample_interval", 1.0))
+    for entry in payload.get("samples", []):
+        trace.record(
+            TraceSample(
+                time=entry["time"],
+                logical={int(k): v for k, v in entry["logical"].items()},
+                hardware={int(k): v for k, v in entry["hardware"].items()},
+                multipliers={int(k): v for k, v in entry["multipliers"].items()},
+                modes={int(k): v for k, v in entry["modes"].items()},
+                max_estimates={
+                    int(k): v for k, v in entry["max_estimates"].items()
+                },
+                diameter=entry.get("diameter"),
+            )
+        )
+    return trace

@@ -1,0 +1,200 @@
+"""Declarative, hashable scenario specifications.
+
+A :class:`ScenarioSpec` is pure data: topology, dynamics, drift, delay and
+algorithm are referred to *by registry name* (see
+:mod:`repro.experiments.registry`) plus a plain keyword-argument mapping, and
+the simulation knobs of :class:`repro.sim.runner.SimulationConfig` are stored
+as scalars.  Because a spec contains no live objects it can be
+
+* serialised to JSON and back without loss (``to_dict`` / ``from_dict``),
+* hashed to a stable content hash that is identical across processes and
+  Python invocations (``content_hash``), which keys the on-disk result cache,
+* pickled cheaply to ``multiprocessing`` workers, which rebuild the heavy
+  objects locally from the registries.
+
+Randomness is only ever introduced through seeds.  Components that accept a
+``seed`` argument but are not given one explicitly are seeded from the spec's
+own content hash at materialisation time, so the same spec always produces
+the same run, whether executed serially, in a worker pool, or on another
+machine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional
+
+#: Bumped whenever the canonical serialisation changes shape, so stale cache
+#: entries from older layouts can never be mistaken for current results.
+SPEC_FORMAT_VERSION = 1
+
+
+class SpecError(ValueError):
+    """Raised on malformed scenario specifications."""
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, default float repr."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """A registry entry by name plus its keyword arguments."""
+
+    name: str
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.name:
+            raise SpecError("a component needs a non-empty name")
+        for key in self.args:
+            if not isinstance(key, str):
+                raise SpecError(f"component argument names must be strings, got {key!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "args": dict(self.args)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ComponentSpec":
+        return cls(name=payload["name"], args=dict(payload.get("args", {})))
+
+    def with_args(self, **updates: Any) -> "ComponentSpec":
+        merged = dict(self.args)
+        merged.update(updates)
+        return ComponentSpec(self.name, merged)
+
+    def __hash__(self):
+        return hash(canonical_json(self.to_dict()))
+
+
+def _component(value: Any) -> Optional[ComponentSpec]:
+    """Coerce ``None`` / name / (name, args) / mapping into a ComponentSpec."""
+    if value is None or isinstance(value, ComponentSpec):
+        return value
+    if isinstance(value, str):
+        return ComponentSpec(value)
+    if isinstance(value, Mapping):
+        return ComponentSpec.from_dict(value)
+    if isinstance(value, tuple) and len(value) == 2:
+        return ComponentSpec(value[0], dict(value[1]))
+    raise SpecError(f"cannot interpret {value!r} as a component spec")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything needed to reproduce one simulation run, as pure data.
+
+    ``params`` holds :class:`repro.core.parameters.Parameters` keyword
+    arguments, ``edge`` holds :class:`repro.network.edge.EdgeParams` keyword
+    arguments and ``sim`` holds :class:`repro.sim.runner.SimulationConfig`
+    keyword arguments (``drift``, ``delay`` and ``initial_logical`` are
+    expressed through the dedicated fields instead).
+    """
+
+    topology: ComponentSpec
+    label: str = ""
+    dynamics: Optional[ComponentSpec] = None
+    drift: Optional[ComponentSpec] = None
+    delay: Optional[ComponentSpec] = None
+    algorithm: ComponentSpec = field(default_factory=lambda: ComponentSpec("aopt"))
+    params: Dict[str, Any] = field(default_factory=dict)
+    edge: Dict[str, Any] = field(default_factory=dict)
+    sim: Dict[str, Any] = field(default_factory=dict)
+    #: Adversarially pre-built skew: node ``i`` (in node order) starts with
+    #: logical clock ``i * initial_ramp_per_edge``.
+    initial_ramp_per_edge: Optional[float] = None
+    #: Explicit initial logical clock values (overrides the ramp).
+    initial_logical: Optional[Dict[int, float]] = None
+    #: Free-form reference values computed by the scenario builder (e.g. the
+    #: analytic insertion span); copied into the run metadata verbatim.
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(self, "topology", _component(self.topology))
+        object.__setattr__(self, "dynamics", _component(self.dynamics))
+        object.__setattr__(self, "drift", _component(self.drift))
+        object.__setattr__(self, "delay", _component(self.delay))
+        object.__setattr__(self, "algorithm", _component(self.algorithm))
+        if self.topology is None:
+            raise SpecError("a scenario spec needs a topology")
+        for forbidden in ("drift", "delay", "initial_logical", "params"):
+            if forbidden in self.sim:
+                raise SpecError(
+                    f"sim knob {forbidden!r} must be expressed through the "
+                    "dedicated spec field, not the sim mapping"
+                )
+
+    # ------------------------------------------------------------------
+    # Serialisation and hashing
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "topology": self.topology.to_dict(),
+            "dynamics": self.dynamics.to_dict() if self.dynamics else None,
+            "drift": self.drift.to_dict() if self.drift else None,
+            "delay": self.delay.to_dict() if self.delay else None,
+            "algorithm": self.algorithm.to_dict(),
+            "params": dict(self.params),
+            "edge": dict(self.edge),
+            "sim": dict(self.sim),
+            "initial_ramp_per_edge": self.initial_ramp_per_edge,
+            "initial_logical": (
+                {str(node): value for node, value in self.initial_logical.items()}
+                if self.initial_logical is not None
+                else None
+            ),
+            "notes": dict(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        initial_logical = payload.get("initial_logical")
+        if initial_logical is not None:
+            initial_logical = {int(node): value for node, value in initial_logical.items()}
+        return cls(
+            label=payload.get("label", ""),
+            topology=_component(payload["topology"]),
+            dynamics=_component(payload.get("dynamics")),
+            drift=_component(payload.get("drift")),
+            delay=_component(payload.get("delay")),
+            algorithm=_component(payload.get("algorithm", "aopt")),
+            params=dict(payload.get("params", {})),
+            edge=dict(payload.get("edge", {})),
+            sim=dict(payload.get("sim", {})),
+            initial_ramp_per_edge=payload.get("initial_ramp_per_edge"),
+            initial_logical=initial_logical,
+            notes=dict(payload.get("notes", {})),
+        )
+
+    def canonical(self) -> str:
+        """Canonical JSON string of the spec (the hashing pre-image)."""
+        return canonical_json({"version": SPEC_FORMAT_VERSION, "spec": self.to_dict()})
+
+    def content_hash(self) -> str:
+        """SHA-256 of the canonical form; stable across processes and runs."""
+        return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()
+
+    def short_hash(self) -> str:
+        return self.content_hash()[:12]
+
+    def base_seed(self) -> int:
+        """Deterministic seed derived from the content hash."""
+        return int(self.content_hash()[:16], 16)
+
+    def __hash__(self):
+        return hash(self.content_hash())
+
+    # ------------------------------------------------------------------
+    # Convenience updates
+    # ------------------------------------------------------------------
+    def with_sim(self, **updates: Any) -> "ScenarioSpec":
+        merged = dict(self.sim)
+        merged.update(updates)
+        return replace(self, sim=merged)
+
+    def with_label(self, label: str) -> "ScenarioSpec":
+        return replace(self, label=label)

@@ -1,0 +1,129 @@
+"""Smoke tests for the python -m repro.experiments command line."""
+
+import json
+
+import pytest
+
+from repro.experiments import cli
+
+
+def run_cli(*argv):
+    return cli.main(list(argv))
+
+
+class TestList:
+    def test_lists_scenarios_and_components(self, capsys):
+        assert run_cli("list") == 0
+        out = capsys.readouterr().out
+        for required in (
+            "grid_periodic_churn",
+            "random_connected_sliding_window",
+            "star_hub_failover",
+            "ring_sinusoidal_drift",
+            "line_scaling",
+            "end_to_end_insertion",
+        ):
+            assert required in out
+        assert "topologies:" in out
+        assert "algorithms:" in out
+
+
+class TestRun:
+    def test_run_executes_then_serves_from_cache(self, tmp_path, capsys):
+        args = (
+            "run",
+            "quickstart_line",
+            "--set",
+            "n=4",
+            "--set",
+            "sim.duration=4.0",
+            "--cache-dir",
+            str(tmp_path),
+        )
+        assert run_cli(*args) == 0
+        first = capsys.readouterr().out
+        assert "quickstart_line/n=4/AOPT" in first
+        assert "0 from cache, 1 executed" in first
+        assert run_cli(*args) == 0
+        second = capsys.readouterr().out
+        assert "1 from cache, 0 executed" in second
+
+    def test_run_json_output(self, tmp_path, capsys):
+        assert (
+            run_cli(
+                "run",
+                "quickstart_line",
+                "--set",
+                "n=4",
+                "--set",
+                "sim.duration=4.0",
+                "--cache-dir",
+                str(tmp_path),
+                "--json",
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["total"] == 1
+        (run,) = payload["runs"]
+        assert run["summary"]["node_count"] == 4
+        assert run["spec"]["topology"]["args"] == {"n": 4}
+
+    def test_unknown_scenario_fails_cleanly(self, tmp_path, capsys):
+        assert run_cli("run", "nope", "--cache-dir", str(tmp_path)) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestSweep:
+    def sweep_args(self, tmp_path, *extra):
+        return (
+            "sweep",
+            "line_scaling",
+            "--grid",
+            "n=4,5",
+            "--grid",
+            "algorithm=AOPT,MaxPropagation",
+            "--set",
+            "sim.duration=4.0",
+            "--cache-dir",
+            str(tmp_path),
+            *extra,
+        )
+
+    def test_sweep_then_full_cache_hit(self, tmp_path, capsys):
+        assert run_cli(*self.sweep_args(tmp_path)) == 0
+        first = capsys.readouterr().out
+        assert "4 spec(s): 0 from cache, 4 executed" in first
+        assert run_cli(*self.sweep_args(tmp_path, "--workers", "2")) == 0
+        second = capsys.readouterr().out
+        assert "4 spec(s): 4 from cache, 0 executed" in second
+
+    def test_sweep_requires_a_grid(self, tmp_path, capsys):
+        assert run_cli("sweep", "line_scaling", "--cache-dir", str(tmp_path)) == 2
+        assert "--grid" in capsys.readouterr().err
+
+    def test_malformed_set_rejected(self, tmp_path, capsys):
+        assert (
+            run_cli("run", "quickstart_line", "--set", "oops", "--cache-dir", str(tmp_path))
+            == 2
+        )
+        assert "key=value" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_cache_listing_and_clear(self, tmp_path, capsys):
+        run_cli(
+            "run",
+            "quickstart_line",
+            "--set",
+            "n=4",
+            "--set",
+            "sim.duration=4.0",
+            "--cache-dir",
+            str(tmp_path),
+        )
+        capsys.readouterr()
+        assert run_cli("cache", "--cache-dir", str(tmp_path)) == 0
+        assert "1 cache entries" in capsys.readouterr().out
+        assert run_cli("cache", "--cache-dir", str(tmp_path), "--clear") == 0
+        assert "removed 1" in capsys.readouterr().out

@@ -1,0 +1,156 @@
+"""Tests for repro.experiments.executor: caching, parallelism, grids."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    execute_spec,
+    expand_grid,
+    scenario,
+)
+from repro.experiments.executor import ExecutorError
+from repro.experiments.results import trace_from_payload, trace_to_payload
+
+TINY_SIM = {"duration": 5.0, "dt": 0.1}
+
+
+def tiny_spec(n=4, algorithm="AOPT"):
+    return scenario("line_scaling", n=n, algorithm=algorithm, sim=dict(TINY_SIM))
+
+
+@pytest.fixture
+def runner(tmp_path):
+    return ExperimentRunner(tmp_path / "cache")
+
+
+class TestCache:
+    def test_miss_then_hit(self, runner):
+        spec = tiny_spec()
+        first = runner.run(spec)
+        assert not first.from_cache
+        assert runner.cache_path(spec).is_file()
+        second = runner.run(spec)
+        assert second.from_cache
+        assert second.summary == first.summary
+        assert second.meta == first.meta
+        assert [s.time for s in second.trace] == [s.time for s in first.trace]
+        assert runner.stats.executed == 1
+        assert runner.stats.cached == 1
+
+    def test_cache_file_is_keyed_by_content_hash(self, runner):
+        spec = tiny_spec()
+        runner.run(spec)
+        assert runner.cache_path(spec).name == f"{spec.content_hash()}.json"
+
+    def test_corrupt_cache_entry_is_a_miss(self, runner):
+        spec = tiny_spec()
+        runner.run(spec)
+        runner.cache_path(spec).write_text("not json{")
+        run = runner.run(spec)
+        assert not run.from_cache
+
+    def test_format_version_mismatch_is_a_miss(self, runner):
+        spec = tiny_spec()
+        runner.run(spec)
+        payload = json.loads(runner.cache_path(spec).read_text())
+        payload["format"] = -1
+        runner.cache_path(spec).write_text(json.dumps(payload))
+        assert not runner.run(spec).from_cache
+
+    def test_use_cache_false_always_executes(self, tmp_path):
+        runner = ExperimentRunner(tmp_path / "cache", use_cache=False)
+        spec = tiny_spec()
+        runner.run(spec)
+        assert not runner.cache_path(spec).exists()
+        assert not runner.run(spec).from_cache
+        assert runner.stats.executed == 2
+
+    def test_clear_cache_sweeps_interrupted_writes(self, runner):
+        runner.run(tiny_spec())
+        # Leftover from a write interrupted between tmp and os.replace.
+        (runner.cache_dir / "deadbeef.tmp.12345").write_text("{}")
+        assert runner.clear_cache() == 2
+        assert runner.clear_cache() == 0
+
+    def test_workers_must_be_positive(self, tmp_path):
+        with pytest.raises(ExecutorError):
+            ExperimentRunner(tmp_path, workers=0)
+
+
+class TestSweeps:
+    def grid_specs(self):
+        return expand_grid(
+            "line_scaling",
+            {"n": [4, 5, 6, 7], "algorithm": ["AOPT", "MaxPropagation"]},
+            base={"sim": dict(TINY_SIM)},
+        )
+
+    def test_expand_grid_is_the_cartesian_product(self):
+        specs = self.grid_specs()
+        assert len(specs) == 8
+        labels = [spec.label for spec in specs]
+        assert len(set(labels)) == 8
+        assert labels[0] == "line_scaling/n=4/AOPT"
+        assert labels[-1] == "line_scaling/n=7/MaxPropagation"
+
+    def test_expand_grid_rejects_empty_axis(self):
+        with pytest.raises(ExecutorError):
+            expand_grid("line_scaling", {"n": []})
+
+    def test_parallel_equals_serial_equals_cached(self, tmp_path):
+        """The acceptance sweep: >= 8 specs, workers 1 vs 4, then cache-only."""
+        specs = self.grid_specs()
+        serial = ExperimentRunner(tmp_path / "serial")
+        serial_runs, serial_stats = serial.run_all(specs)
+        assert serial_stats.executed == 8
+
+        parallel = ExperimentRunner(tmp_path / "parallel", workers=4)
+        parallel_runs, parallel_stats = parallel.run_all(specs)
+        assert parallel_stats.executed == 8
+        for left, right in zip(serial_runs, parallel_runs):
+            assert left.summary == right.summary
+
+        rerun_runs, rerun_stats = parallel.run_all(specs)
+        assert rerun_stats.executed == 0
+        assert rerun_stats.cached == 8
+        for left, right in zip(parallel_runs, rerun_runs):
+            assert left.summary == right.summary
+
+    def test_order_is_preserved_with_mixed_hits_and_misses(self, runner):
+        specs = self.grid_specs()
+        runner.run_all(specs[::2])  # warm every other entry
+        runs, stats = runner.run_all(specs)
+        assert stats.cached == 4 and stats.executed == 4
+        assert [run.spec.label for run in runs] == [spec.label for spec in specs]
+
+
+class TestRunPayloads:
+    def test_trace_round_trip(self):
+        payload = execute_spec(tiny_spec())
+        trace = trace_from_payload(payload["trace"])
+        assert trace_to_payload(trace) == payload["trace"]
+        assert trace.final().time == pytest.approx(5.0)
+
+    def test_insertion_meta_survives_cache(self, runner):
+        spec = scenario(
+            "end_to_end_insertion", n=4, insertion_time=1.0, sim=dict(TINY_SIM)
+        )
+        fresh = runner.run(spec)
+        cached = runner.run(spec)
+        assert cached.from_cache
+        assert cached.meta["new_edge"] == (0, 3)
+        assert cached.meta["new_edge"] == fresh.meta["new_edge"]
+        assert cached.summary.skew_at_event is not None
+
+    def test_run_graph_property_rebuilds(self, runner):
+        run = runner.run(tiny_spec(n=5))
+        graph = run.graph
+        assert graph.node_count == 5
+        assert graph.has_edge(0, 1)
+
+    def test_summary_excludes_engine_state(self, runner):
+        run = runner.run(tiny_spec())
+        assert "engine" not in run.summary.to_dict()
+        assert run.summary.broken_level_chains == 0

@@ -1,0 +1,179 @@
+"""Tests for repro.experiments.registry: factories and named scenarios."""
+
+import pytest
+
+from repro.experiments import (
+    ALGORITHMS,
+    DELAYS,
+    DRIFTS,
+    DYNAMICS,
+    SCENARIOS,
+    TOPOLOGIES,
+    build_scenario,
+    scenario,
+)
+from repro.experiments.registry import (
+    RegistryError,
+    build_graph,
+    resolve_algorithm_name,
+)
+from repro.experiments.spec import SpecError
+from repro.network.dynamic_graph import GraphError
+from repro.sim.runner import SimulationConfig
+
+#: Small builder overrides so every named scenario materialises quickly.
+FAST_OVERRIDES = {
+    "line_scaling": {"n": 4, "sim": {"duration": 4.0}},
+    "end_to_end_insertion": {"n": 4, "insertion_time": 1.0, "sim": {"duration": 5.0}},
+    "grid_periodic_churn": {"rows": 2, "cols": 3, "duration": 30.0},
+    "random_connected_sliding_window": {"n": 6, "duration": 30.0},
+    "star_hub_failover": {"n": 6, "failover_time": 5.0, "duration": 20.0},
+    "ring_sinusoidal_drift": {"n": 6, "duration": 10.0},
+    "quickstart_line": {"n": 4, "duration": 5.0},
+}
+
+
+class TestRegistries:
+    def test_all_topology_generators_registered(self):
+        for name in (
+            "line",
+            "ring",
+            "star",
+            "complete",
+            "grid",
+            "binary_tree",
+            "random_tree",
+            "random_connected",
+            "sliding_window_line",
+        ):
+            assert name in TOPOLOGIES
+
+    def test_all_drift_models_registered(self):
+        for name in (
+            "none",
+            "random_constant",
+            "random_walk",
+            "two_group",
+            "ramp",
+            "sinusoidal",
+        ):
+            assert name in DRIFTS
+
+    def test_all_delay_models_registered(self):
+        for name in ("zero", "fixed_fraction", "uniform", "directional"):
+            assert name in DELAYS
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(RegistryError, match="unknown topology"):
+            TOPOLOGIES.get("moebius")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(RegistryError):
+            TOPOLOGIES.register("line", lambda edge: None)
+
+    def test_algorithm_aliases(self):
+        assert resolve_algorithm_name("AOPT") == "aopt"
+        assert resolve_algorithm_name("max_propagation") == "max_propagation"
+        with pytest.raises(RegistryError):
+            resolve_algorithm_name("gps")
+
+
+class TestNamedScenarios:
+    def test_required_composite_scenarios_listed(self):
+        names = SCENARIOS.names()
+        for required in (
+            "grid_periodic_churn",
+            "random_connected_sliding_window",
+            "star_hub_failover",
+            "ring_sinusoidal_drift",
+        ):
+            assert required in names
+
+    @pytest.mark.parametrize("name", sorted(FAST_OVERRIDES))
+    def test_every_named_scenario_materialises(self, name):
+        spec = scenario(name, **FAST_OVERRIDES[name])
+        materialised = build_scenario(spec)
+        assert materialised.graph.is_connected()
+        assert isinstance(materialised.config, SimulationConfig)
+        assert materialised.base_edges
+        assert materialised.meta["label"] == spec.label
+        # Seeds for the default delay model and the estimate layer were
+        # pinned to the spec hash.
+        assert materialised.config.delay_seed is not None
+        assert materialised.config.estimate_seed is not None
+
+    def test_materialisation_is_deterministic_for_random_topologies(self):
+        spec = scenario("random_connected_sliding_window", n=8, duration=20.0)
+        edges_a = sorted((k.a, k.b) for k in build_scenario(spec).graph.edges())
+        edges_b = sorted((k.a, k.b) for k in build_scenario(spec).graph.edges())
+        assert edges_a == edges_b
+
+    def test_line_scaling_matches_benchmark_structure(self):
+        spec = scenario("line_scaling", n=6)
+        assert spec.topology.args == {"n": 6}
+        assert spec.sim["duration"] == pytest.approx(100.0 + 60.0 * 6)
+        assert spec.algorithm.name == "aopt"
+        assert spec.algorithm.args["global_skew_bound"] == pytest.approx(
+            spec.notes["reference_global_skew_bound"]
+        )
+        assert spec.initial_ramp_per_edge is not None
+
+    def test_end_to_end_insertion_meta(self):
+        spec = scenario("end_to_end_insertion", n=5, insertion_time=2.0)
+        materialised = build_scenario(spec)
+        assert materialised.meta["new_edge"] == (0, 4)
+        assert materialised.meta["insertion_time"] == 2.0
+        assert materialised.meta["insertion_span"] > 0.0
+        # The new edge is scheduled, not present at time zero.
+        assert (0, 4) not in materialised.base_edges
+
+
+class TestDynamics:
+    def test_hub_failover_keeps_primary_backup_edge(self):
+        spec = scenario("star_hub_failover", n=6, failover_time=5.0, duration=20.0)
+        graph, meta = build_graph(spec)
+        assert meta["primary_hub"] == 0
+        assert meta["backup_hub"] == 1
+        assert graph.has_edge(0, 1)
+        # Leaves get a scheduled backup edge and a scheduled primary removal.
+        kinds = {(e.kind, e.source, e.target) for e in graph.pending_events()}
+        assert ("up", 1, 2) in kinds
+        assert ("down", 0, 2) in kinds
+
+    def test_hub_failover_rejects_nonpositive_overlap(self):
+        spec = scenario("star_hub_failover", n=6, failover_time=5.0, overlap=0.0)
+        with pytest.raises(GraphError, match="overlap"):
+            build_graph(spec)
+
+    def test_rotating_shortcuts_reports_candidates(self):
+        spec = scenario("random_connected_sliding_window", n=8, duration=40.0)
+        _, meta = build_graph(spec)
+        assert meta["shortcut_count"] > 0
+
+    def test_periodic_churn_candidates_avoid_base_edges(self):
+        from repro.network import topology
+        from repro.network.edge import EdgeParams
+
+        spec = scenario("grid_periodic_churn", rows=2, cols=3, duration=60.0)
+        _, meta = build_graph(spec)
+        backbone = topology.grid(2, 3, EdgeParams(**spec.edge))
+        assert meta["churn_candidates"]
+        for u, v in meta["churn_candidates"]:
+            assert not backbone.has_edge(u, v)
+
+
+class TestDriftFactories:
+    def test_two_group_fast_selector(self):
+        fast_upper = DRIFTS.get("two_group")(0.01, [0, 1, 2, 3])
+        assert fast_upper.rate(3, 0.0) == pytest.approx(1.01)
+        assert fast_upper.rate(0, 0.0) == pytest.approx(0.99)
+        fast_lower = DRIFTS.get("two_group")(0.01, [0, 1, 2, 3], fast="lower")
+        assert fast_lower.rate(0, 0.0) == pytest.approx(1.01)
+        with pytest.raises(SpecError):
+            DRIFTS.get("two_group")(0.01, [0, 1], fast="sideways")
+
+    def test_threshold_gradient_default_threshold(self):
+        spec = scenario("line_scaling", n=9, algorithm="ThresholdGradient")
+        materialised = build_scenario(spec)
+        assert materialised.global_skew_bound is None
+        assert callable(materialised.algorithm_factory)

@@ -1,0 +1,128 @@
+"""Tests for repro.experiments.spec: serialisation and stable hashing."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.experiments import ComponentSpec, ScenarioSpec, SpecError, scenario
+
+
+def make_spec(**kwargs) -> ScenarioSpec:
+    base = dict(
+        label="test",
+        topology=ComponentSpec("line", {"n": 5}),
+        drift=ComponentSpec("two_group", {"swap_period": 10.0}),
+        sim={"dt": 0.1, "duration": 5.0},
+    )
+    base.update(kwargs)
+    return ScenarioSpec(**base)
+
+
+class TestComponentSpec:
+    def test_coercion_from_name(self):
+        spec = ScenarioSpec(topology="line")
+        assert spec.topology == ComponentSpec("line")
+
+    def test_coercion_from_tuple_and_mapping(self):
+        from_tuple = ScenarioSpec(topology=("line", {"n": 4}))
+        from_mapping = ScenarioSpec(topology={"name": "line", "args": {"n": 4}})
+        assert from_tuple.topology == from_mapping.topology
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecError):
+            ComponentSpec("")
+
+    def test_with_args_merges(self):
+        component = ComponentSpec("line", {"n": 4})
+        assert component.with_args(n=8).args == {"n": 8}
+        assert component.args == {"n": 4}
+
+    def test_hashable(self):
+        assert hash(ComponentSpec("line", {"n": 4})) == hash(
+            ComponentSpec("line", {"n": 4})
+        )
+
+
+class TestSerialisation:
+    def test_round_trip_preserves_equality_and_hash(self):
+        spec = make_spec(initial_ramp_per_edge=1.5, notes={"bound": 3.0})
+        payload = json.loads(json.dumps(spec.to_dict()))
+        restored = ScenarioSpec.from_dict(payload)
+        assert restored == spec
+        assert restored.content_hash() == spec.content_hash()
+
+    def test_initial_logical_keys_survive_json(self):
+        spec = make_spec(initial_logical={0: 0.0, 3: 2.5})
+        restored = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored.initial_logical == {0: 0.0, 3: 2.5}
+
+    def test_named_scenarios_round_trip(self):
+        for name in ("line_scaling", "end_to_end_insertion", "grid_periodic_churn"):
+            spec = scenario(name)
+            restored = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+            assert restored.content_hash() == spec.content_hash()
+
+    def test_sim_must_not_smuggle_dedicated_fields(self):
+        for forbidden in ("drift", "delay", "initial_logical", "params"):
+            with pytest.raises(SpecError):
+                make_spec(sim={forbidden: None})
+
+
+class TestContentHash:
+    def test_insensitive_to_dict_insertion_order(self):
+        a = make_spec(sim={"dt": 0.1, "duration": 5.0})
+        b = make_spec(sim={"duration": 5.0, "dt": 0.1})
+        assert a.content_hash() == b.content_hash()
+
+    def test_sensitive_to_values(self):
+        assert make_spec().content_hash() != make_spec(label="other").content_hash()
+        assert (
+            make_spec().content_hash()
+            != make_spec(topology=ComponentSpec("line", {"n": 6})).content_hash()
+        )
+
+    def test_int_and_float_args_hash_differently(self):
+        a = make_spec(topology=ComponentSpec("line", {"n": 5}))
+        b = make_spec(topology=ComponentSpec("line", {"n": 5.0}))
+        assert a.content_hash() != b.content_hash()
+
+    def test_base_seed_is_deterministic(self):
+        assert make_spec().base_seed() == make_spec().base_seed()
+
+    def test_stable_across_processes(self):
+        """The cache key must be identical in a fresh interpreter."""
+        spec = scenario("line_scaling", n=6, algorithm="MaxPropagation")
+        code = (
+            "import json, sys\n"
+            "from repro.experiments import ScenarioSpec\n"
+            "spec = ScenarioSpec.from_dict(json.loads(sys.argv[1]))\n"
+            "print(spec.content_hash())\n"
+        )
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", code, json.dumps(spec.to_dict())],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert result.stdout.strip() == spec.content_hash()
+
+
+class TestUpdates:
+    def test_with_sim_merges_without_mutating(self):
+        spec = make_spec()
+        shrunk = spec.with_sim(duration=1.0)
+        assert shrunk.sim["duration"] == 1.0
+        assert shrunk.sim["dt"] == 0.1
+        assert spec.sim["duration"] == 5.0
+
+    def test_with_label(self):
+        assert make_spec().with_label("renamed").label == "renamed"

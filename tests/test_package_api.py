@@ -41,6 +41,12 @@ PUBLIC_MODULES = [
     "repro.sim.scheduler",
     "repro.sim.trace",
     "repro.baselines",
+    "repro.experiments",
+    "repro.experiments.cli",
+    "repro.experiments.executor",
+    "repro.experiments.registry",
+    "repro.experiments.results",
+    "repro.experiments.spec",
     "repro.analysis",
     "repro.analysis.gradient",
     "repro.analysis.legality",
