@@ -1,0 +1,69 @@
+"""E11 -- Backend speed: the struct-of-arrays engine vs the reference engine.
+
+The fast backend (:mod:`repro.fastsim`) must be bit-identical to the
+reference engine on the scenarios it supports *and* markedly faster -- the
+acceptance bar is a >= 5x speedup on the n = 1024 line scenario.  This
+benchmark times both backends on the ``backend_bench`` scenario family
+(two-group adversary, adversarial initial ramp, ``toward_observer``
+estimates) and writes a snapshot to
+``benchmarks/results/e11_backend_speed.json``.
+
+The default pytest invocation keeps the grid small so CI stays fast; run
+
+    PYTHONPATH=src python -m repro.experiments bench
+
+for the full n in {64, 256, 1024} x {line, grid, random} sweep, which
+(re)writes the repo's perf trajectory file ``BENCH_fastsim.json``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import report
+from repro.experiments.bench import run_backend_bench, write_bench_json
+
+from common import emit
+
+#: Small grid for the pytest/CI run; the CLI covers the full trajectory.
+SIZES = (64,)
+TOPOLOGIES = ("line",)
+DURATION = 10.0
+
+RESULTS_JSON = Path(__file__).resolve().parent / "results" / "e11_backend_speed.json"
+
+
+def run_bench():
+    return run_backend_bench(
+        sizes=SIZES,
+        topologies=TOPOLOGIES,
+        duration=DURATION,
+        repeats=1,
+    )
+
+
+def test_e11_backend_speed(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    table = report.Table(
+        "E11: engine backend speed (reference vs fast)",
+        ["topology", "n", "steps", "reference [s]", "fast [s]", "speedup", "identical"],
+    )
+    for entry in payload["results"]:
+        table.add_row(
+            entry["topology"],
+            entry["n"],
+            entry["steps"],
+            entry["reference_seconds"],
+            entry["fast_seconds"],
+            entry["speedup"],
+            "yes" if entry["traces_identical"] else "NO",
+        )
+    emit(table, "e11_backend_speed.txt")
+    RESULTS_JSON.parent.mkdir(parents=True, exist_ok=True)
+    write_bench_json(payload, RESULTS_JSON)
+
+    for entry in payload["results"]:
+        # Equivalence is non-negotiable; speed must clear a conservative bar
+        # even on slow CI machines (the full bench shows ~10x).
+        assert entry["traces_identical"] is True
+        assert entry["speedup"] >= 2.0

@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Reproduction of 'Optimal Gradient Clock Synchronization in Dynamic "
         "Networks' (Kuhn, Lenzen, Locher, Oshman, PODC 2010)"

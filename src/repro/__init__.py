@@ -15,6 +15,9 @@ The package is organised by subsystem:
   level threshold rule, immediate insertion, no synchronization);
 * :mod:`repro.analysis` -- skew, gradient, legality and stabilization
   measurements plus report formatting;
+* :mod:`repro.fastsim` -- the struct-of-arrays fast simulation backend and
+  the pluggable engine-backend registry (bit-identical to the reference
+  engine on the scenarios it supports);
 * :mod:`repro.lower_bounds` -- analytic bounds and the adversarial scenarios
   that exhibit them.
 """
@@ -33,7 +36,7 @@ from .sim.runner import (
     run_simulation,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AOPT",

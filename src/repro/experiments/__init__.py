@@ -12,10 +12,13 @@ in parallel, cache it on disk":
 * :mod:`repro.experiments.results` -- the compact
   :class:`~repro.experiments.results.RunSummary` workers return instead of
   whole engines;
+* :mod:`repro.experiments.bench` -- the backend speed benchmark feeding
+  ``BENCH_fastsim.json`` (reference vs fast engine, see :mod:`repro.fastsim`);
 * :mod:`repro.experiments.cli` -- the ``python -m repro.experiments``
-  command line (``list`` / ``run`` / ``sweep`` / ``cache``).
+  command line (``list`` / ``run`` / ``sweep`` / ``bench`` / ``cache``).
 """
 
+from .bench import bench_spec, run_backend_bench, write_bench_json
 from .executor import (
     ExperimentRun,
     ExperimentRunner,
@@ -52,9 +55,12 @@ __all__ = [
     "ScenarioSpec",
     "SpecError",
     "SweepStats",
+    "bench_spec",
     "build_scenario",
     "execute_spec",
     "expand_grid",
+    "run_backend_bench",
     "scenario",
     "summarize",
+    "write_bench_json",
 ]

@@ -1,0 +1,227 @@
+"""Backend speed benchmark: reference vs fast engine, head to head.
+
+The benchmark times end-to-end engine construction plus run (no caching, no
+summarising) for the same scenario on every registered backend, across a grid
+of topology families and node counts, and verifies on the fly that the
+produced traces are identical.  Results are written to ``BENCH_fastsim.json``
+-- the repo's performance trajectory file -- by the ``repro-experiments
+bench`` subcommand and by ``benchmarks/bench_e11_backend_speed.py``.
+
+The scenarios are throughput-oriented: a two-group drift adversary over a
+static line / grid / random-connected topology with the benchmark edge
+parameters, an adversarial initial ramp and the ``toward_observer`` estimate
+strategy -- i.e. the same per-step workload as the E1--E3 suite, with a short
+wall-clock duration so that large ``n`` stays affordable.  An explicit
+global skew bound (the analytic per-hop bound of
+:func:`repro.core.skew_estimates.suggest_global_skew_bound`, computed in
+closed form) keeps materialisation cheap at n >> 10^3, where the generic
+weighted-diameter search would dominate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..core.parameters import Parameters
+from ..fastsim.backend import get_backend
+from . import registry
+from .registry import BENCHMARK_EDGE, BENCHMARK_INSERTION_SCALE, BENCHMARK_PARAMS
+from .results import trace_to_payload
+from .spec import ComponentSpec, ScenarioSpec
+
+DEFAULT_SIZES: Tuple[int, ...] = (64, 256, 1024)
+DEFAULT_TOPOLOGIES: Tuple[str, ...] = ("line", "grid", "random")
+DEFAULT_DURATION = 20.0
+DEFAULT_DT = 0.1
+DEFAULT_OUTPUT = "BENCH_fastsim.json"
+
+
+class BenchError(ValueError):
+    """Raised on invalid benchmark configuration."""
+
+
+def _per_hop_bound(params: Parameters) -> float:
+    """Closed-form per-hop term of ``suggest_global_skew_bound``."""
+    edge = BENCHMARK_EDGE
+    return (
+        edge["epsilon"]
+        + edge["delay"]
+        + 2.0 * params.rho * (1.0 + edge["delay"])
+    )
+
+
+def _topology_component(kind: str, n: int) -> Tuple[ComponentSpec, int]:
+    """Topology component plus a (possibly over-estimated) hop diameter."""
+    if kind == "line":
+        return ComponentSpec("line", {"n": n}), n - 1
+    if kind == "grid":
+        rows = max(2, math.isqrt(n))
+        cols = max(2, (n + rows - 1) // rows)
+        return ComponentSpec("grid", {"rows": rows, "cols": cols}), rows + cols - 2
+    if kind == "random":
+        # Sparse random connected graph: the per-pair probability scales as
+        # 1/n so the expected extra degree stays constant across sizes.  The
+        # hop diameter is bounded by n - 1 and the skew bound only needs to
+        # dominate it.
+        probability = min(0.05, 8.0 / n)
+        return (
+            ComponentSpec(
+                "random_connected",
+                {"n": n, "extra_edge_probability": probability},
+            ),
+            n - 1,
+        )
+    raise BenchError(f"unknown bench topology {kind!r}; known: line, grid, random")
+
+
+def bench_spec(
+    kind: str,
+    n: int,
+    *,
+    duration: float = DEFAULT_DURATION,
+    dt: float = DEFAULT_DT,
+    backend: str = "reference",
+) -> ScenarioSpec:
+    """The backend-benchmark scenario for one (topology, size) grid point."""
+    if n < 2:
+        raise BenchError(f"bench scenarios need n >= 2, got {n}")
+    if duration <= 0.0:
+        raise BenchError(f"duration must be positive, got {duration}")
+    topology, hops = _topology_component(kind, n)
+    params = Parameters(**BENCHMARK_PARAMS)
+    bound = 2.0 * (_per_hop_bound(params) * hops + params.iota) + 1.0
+    kappa = params.kappa_for(BENCHMARK_EDGE["epsilon"], BENCHMARK_EDGE["tau"])
+    return ScenarioSpec(
+        label=f"backend_bench/{kind}/n={n}",
+        topology=topology,
+        drift=ComponentSpec("two_group", {"swap_period": 40.0}),
+        algorithm=ComponentSpec(
+            "aopt",
+            {
+                "global_skew_bound": bound,
+                "insertion_scale": BENCHMARK_INSERTION_SCALE,
+            },
+        ),
+        params=dict(BENCHMARK_PARAMS),
+        edge=dict(BENCHMARK_EDGE),
+        sim={
+            "dt": dt,
+            "duration": duration,
+            "sample_interval": 1.0,
+            "estimate_strategy": "toward_observer",
+        },
+        initial_ramp_per_edge=0.95 * kappa,
+        backend=backend,
+    )
+
+
+def validate_bench_config(
+    *,
+    sizes: Sequence[int],
+    topologies: Sequence[str],
+    duration: float,
+    dt: float,
+    repeats: int,
+    backends: Sequence[str],
+) -> None:
+    """Fail fast on a bad benchmark grid (cheap: no simulation is run)."""
+    if repeats < 1:
+        raise BenchError(f"repeats must be >= 1, got {repeats}")
+    if len(backends) < 1:
+        raise BenchError("need at least one backend to time")
+    for name in backends:
+        get_backend(name)
+    for kind in topologies:
+        for n in sizes:
+            bench_spec(kind, n, duration=duration, dt=dt)
+
+
+def run_backend_bench(
+    *,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    topologies: Sequence[str] = DEFAULT_TOPOLOGIES,
+    duration: float = DEFAULT_DURATION,
+    dt: float = DEFAULT_DT,
+    repeats: int = 1,
+    backends: Sequence[str] = ("reference", "fast"),
+    check_equivalence: bool = True,
+) -> Dict[str, Any]:
+    """Time every backend on every grid point; return the results payload.
+
+    Each measurement is the best of ``repeats`` end-to-end engine
+    construction + run timings (never cached).  When ``check_equivalence``
+    is set the traces of all backends are compared for exact equality and
+    the verdict recorded per grid point.
+    """
+    if repeats < 1:
+        raise BenchError(f"repeats must be >= 1, got {repeats}")
+    if len(backends) < 1:
+        raise BenchError("need at least one backend to time")
+    results: List[Dict[str, Any]] = []
+    for kind in topologies:
+        for n in sizes:
+            base = bench_spec(kind, n, duration=duration, dt=dt)
+            scenario = registry.build_scenario(base)
+            steps = int(round(duration / dt))
+            entry: Dict[str, Any] = {
+                "topology": kind,
+                "n": scenario.graph.node_count,
+                "duration": duration,
+                "dt": dt,
+                "steps": steps,
+                "spec_hash": base.content_hash(),
+            }
+            payloads: Dict[str, Any] = {}
+            for name in backends:
+                backend = get_backend(name)
+                best = math.inf
+                trace = None
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    engine = backend.build(
+                        scenario.graph,
+                        scenario.algorithm_factory,
+                        scenario.config,
+                    )
+                    trace = engine.run(scenario.config.duration)
+                    best = min(best, time.perf_counter() - started)
+                entry[f"{name}_seconds"] = best
+                if check_equivalence:
+                    payloads[name] = trace_to_payload(trace)
+            node_steps = steps * scenario.graph.node_count
+            entry["node_steps"] = node_steps
+            if "reference" in backends and "fast" in backends:
+                entry["speedup"] = entry["reference_seconds"] / entry["fast_seconds"]
+                entry["fast_node_steps_per_second"] = (
+                    node_steps / entry["fast_seconds"]
+                )
+            if check_equivalence and len(payloads) > 1:
+                first = next(iter(payloads.values()))
+                entry["traces_identical"] = all(
+                    payload == first for payload in payloads.values()
+                )
+            results.append(entry)
+    return {
+        "benchmark": "backend_speed",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "backends": list(backends),
+        "config": {
+            "sizes": list(sizes),
+            "topologies": list(topologies),
+            "duration": duration,
+            "dt": dt,
+            "repeats": repeats,
+        },
+        "results": results,
+    }
+
+
+def write_bench_json(payload: Dict[str, Any], path) -> Path:
+    """Persist a benchmark payload (the repo's perf-trajectory format)."""
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    return target

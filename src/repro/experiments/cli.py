@@ -4,8 +4,10 @@
 
     python -m repro.experiments list
     python -m repro.experiments run line_scaling --set n=8
+    python -m repro.experiments run line_scaling --set n=256 --set backend=fast
     python -m repro.experiments sweep line_scaling --grid n=4,8,16 \\
         --grid algorithm=AOPT,MaxPropagation --workers 4
+    python -m repro.experiments bench --sizes 64,256,1024
 
 ``--set key=value`` passes builder arguments to the named scenario; dotted
 keys populate nested mappings (``--set sim.duration=40`` shrinks the run).
@@ -27,6 +29,9 @@ import sys
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..analysis import report
+from ..fastsim.backend import BackendError, backend_names
+from ..fastsim.engine import UnsupportedScenarioError
+from . import bench as bench_mod
 from . import executor, registry
 
 
@@ -173,6 +178,7 @@ def cmd_list(args: argparse.Namespace) -> int:
         f"algorithms: {', '.join(registry.ALGORITHMS.names())} "
         f"(aliases: {', '.join(sorted(registry.ALGORITHM_ALIASES))})"
     )
+    print(f"backends:   {', '.join(backend_names())} (--set backend=...)")
     return 0
 
 
@@ -217,6 +223,66 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     runs, stats = runner.run_all(specs)
     axes = " x ".join(f"{key}({len(values)})" for key, values in grid.items())
     _emit_runs(args, f"sweep: {args.scenario} over {axes}", runs, stats)
+    return 0
+
+
+def _parse_csv(text: str, convert=str) -> list:
+    try:
+        return [convert(item.strip()) for item in text.split(",") if item.strip()]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    sizes = _parse_csv(args.sizes, int)
+    topologies = _parse_csv(args.topologies)
+    backends = _parse_csv(args.backends)
+    if not sizes or not topologies:
+        raise argparse.ArgumentTypeError("bench needs at least one size and topology")
+    # Validate the grid up front so bad arguments fail with a one-line
+    # error; the simulation itself then runs unwrapped, so genuine engine
+    # bugs still surface with a full traceback.
+    _check_user_input(
+        bench_mod.validate_bench_config,
+        sizes=sizes,
+        topologies=topologies,
+        duration=args.duration,
+        dt=args.dt,
+        repeats=args.repeats,
+        backends=backends,
+    )
+    payload = bench_mod.run_backend_bench(
+        sizes=sizes,
+        topologies=topologies,
+        duration=args.duration,
+        dt=args.dt,
+        repeats=args.repeats,
+        backends=backends,
+        check_equivalence=not args.no_check,
+    )
+    if args.output:
+        path = bench_mod.write_bench_json(payload, args.output)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    columns = ["topology", "n", "steps"]
+    columns += [f"{name} [s]" for name in backends]
+    has_speedup = "reference" in backends and "fast" in backends
+    if has_speedup:
+        columns.append("speedup")
+    if not args.no_check:
+        columns.append("identical")
+    table = report.Table("backend speed: reference vs fast", columns)
+    for entry in payload["results"]:
+        row = [entry["topology"], entry["n"], entry["steps"]]
+        row += [entry[f"{name}_seconds"] for name in backends]
+        if has_speedup:
+            row.append(entry["speedup"])
+        if not args.no_check:
+            row.append(_fmt(entry.get("traces_identical")))
+        table.add_row(*row)
+    print("\n" + table.render() + "\n")
     return 0
 
 
@@ -276,6 +342,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.set_defaults(handler=cmd_sweep)
 
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="time the reference vs fast engine backends (perf trajectory)",
+    )
+    bench_parser.add_argument(
+        "--sizes",
+        default=",".join(str(n) for n in bench_mod.DEFAULT_SIZES),
+        help="comma-separated node counts (default: %(default)s)",
+    )
+    bench_parser.add_argument(
+        "--topologies",
+        default=",".join(bench_mod.DEFAULT_TOPOLOGIES),
+        help="comma-separated topology families (line,grid,random)",
+    )
+    bench_parser.add_argument(
+        "--backends",
+        default="reference,fast",
+        help="comma-separated backends to time (default: %(default)s)",
+    )
+    bench_parser.add_argument(
+        "--duration", type=float, default=bench_mod.DEFAULT_DURATION,
+        help="simulated time units per run (default: %(default)s)",
+    )
+    bench_parser.add_argument(
+        "--dt", type=float, default=bench_mod.DEFAULT_DT,
+        help="simulation step length (default: %(default)s)",
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=1, help="timings per point; best is kept"
+    )
+    bench_parser.add_argument(
+        "--output",
+        default=bench_mod.DEFAULT_OUTPUT,
+        help="JSON results file (default: %(default)s; empty string disables)",
+    )
+    bench_parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the cross-backend trace equality check",
+    )
+    bench_parser.add_argument(
+        "--json", action="store_true", help="emit the results JSON to stdout"
+    )
+    bench_parser.set_defaults(handler=cmd_bench)
+
     cache_parser = subparsers.add_parser("cache", help="inspect or clear the result cache")
     cache_parser.add_argument("--cache-dir", default=None)
     cache_parser.add_argument("--clear", action="store_true", help="delete all entries")
@@ -292,6 +403,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         registry.RegistryError,
         executor.ExecutorError,
         argparse.ArgumentTypeError,
+        BackendError,
+        UnsupportedScenarioError,
         CliError,
     ) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -27,14 +27,16 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .. import __version__ as _library_version
-from ..sim.runner import build_engine
+from ..fastsim.backend import get_backend
 from . import registry
 from .results import RunSummary, summarize, trace_from_payload, trace_to_payload
 from .spec import ScenarioSpec
 
 #: Bumped when the cache payload layout changes; mismatching entries are
-#: treated as cache misses and overwritten.
-CACHE_FORMAT_VERSION = 1
+#: treated as cache misses and overwritten.  Version 2 added the engine
+#: backend to the cache key and payload (reference and fast results of the
+#: same scenario are distinct cache entries that may never collide).
+CACHE_FORMAT_VERSION = 2
 
 _CACHE_DIR_ENV = "REPRO_EXPERIMENTS_CACHE_DIR"
 
@@ -82,10 +84,17 @@ def _meta_from_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def execute_spec(spec: ScenarioSpec) -> Dict[str, Any]:
-    """Run one spec to completion and return the cacheable payload."""
+    """Run one spec to completion and return the cacheable payload.
+
+    The spec's ``backend`` field picks the engine (reference or fast); both
+    backends receive the identical materialised scenario because seeds
+    derive from the backend-independent content hash.
+    """
     started = time.perf_counter()
     scenario = registry.build_scenario(spec)
-    engine = build_engine(scenario.graph, scenario.algorithm_factory, scenario.config)
+    engine = get_backend(spec.backend).build(
+        scenario.graph, scenario.algorithm_factory, scenario.config
+    )
     trace = engine.run(scenario.config.duration)
     summary = summarize(
         spec=spec,
@@ -102,6 +111,7 @@ def execute_spec(spec: ScenarioSpec) -> Dict[str, Any]:
         "library_version": _library_version,
         "spec": spec.to_dict(),
         "spec_hash": spec.content_hash(),
+        "backend": spec.backend,
         "summary": summary.to_dict(),
         "meta": _meta_to_payload(scenario.meta),
         "trace": trace_to_payload(trace),
@@ -186,7 +196,15 @@ class ExperimentRunner:
 
     # -- cache ----------------------------------------------------------
     def cache_path(self, spec: ScenarioSpec) -> Path:
-        return self.cache_dir / f"{spec.content_hash()}.json"
+        # The content hash is backend-independent (it is the scenario
+        # identity that seeds all randomness), so non-reference backends get
+        # their own file name and can never collide with reference results.
+        # The reference backend keeps the historical ``{hash}.json`` name so
+        # pre-backend cache entries are found, recognised as stale via the
+        # format version check, and overwritten instead of orphaned.
+        if spec.backend == "reference":
+            return self.cache_dir / f"{spec.content_hash()}.json"
+        return self.cache_dir / f"{spec.content_hash()}.{spec.backend}.json"
 
     def load_cached(self, spec: ScenarioSpec) -> Optional[Dict[str, Any]]:
         path = self.cache_path(spec)
@@ -202,6 +220,8 @@ class ExperimentRunner:
         if payload.get("library_version") != _library_version:
             return None
         if payload.get("spec_hash") != spec.content_hash():
+            return None
+        if payload.get("backend", "reference") != spec.backend:
             return None
         return payload
 

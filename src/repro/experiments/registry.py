@@ -30,10 +30,11 @@ from __future__ import annotations
 import inspect
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..baselines.hardware_only import hardware_only_factory
+from ..fastsim.backend import BACKENDS, backend_names
 from ..baselines.immediate_insertion import immediate_insertion_factory
 from ..baselines.max_algorithm import max_propagation_factory
 from ..baselines.threshold_gradient import threshold_gradient_factory
@@ -512,6 +513,11 @@ def build_graph(spec: ScenarioSpec) -> Tuple[DynamicGraph, Dict[str, Any]]:
 
 def build_scenario(spec: ScenarioSpec) -> MaterialisedScenario:
     """Materialise a spec: graph, drift/delay models, config and algorithm."""
+    if spec.backend not in BACKENDS:
+        raise RegistryError(
+            f"unknown backend {spec.backend!r}; known: "
+            + ", ".join(backend_names())
+        )
     params = Parameters(**spec.params)
     params.validate()
     seed = spec.base_seed()
@@ -576,8 +582,18 @@ def build_scenario(spec: ScenarioSpec) -> MaterialisedScenario:
 # Named end-to-end scenarios
 # ----------------------------------------------------------------------
 def scenario(name: str, **overrides: Any) -> ScenarioSpec:
-    """Build the named scenario spec with builder-level overrides."""
-    return SCENARIOS.get(name)(**overrides)
+    """Build the named scenario spec with builder-level overrides.
+
+    ``backend`` is accepted as a pseudo-override for every named scenario:
+    it selects the engine backend (``"reference"`` / ``"fast"``) without the
+    individual builders having to know about execution concerns, so the CLI
+    can say ``--set backend=fast`` or sweep ``--grid backend=reference,fast``.
+    """
+    backend = overrides.pop("backend", None)
+    spec = SCENARIOS.get(name)(**overrides)
+    if backend is not None:
+        spec = replace(spec, backend=str(backend))
+    return spec
 
 
 def _bench_params() -> Parameters:

@@ -100,6 +100,12 @@ class ScenarioSpec:
     drift: Optional[ComponentSpec] = None
     delay: Optional[ComponentSpec] = None
     algorithm: ComponentSpec = field(default_factory=lambda: ComponentSpec("aopt"))
+    #: Which engine executes the run (``"reference"`` or ``"fast"``; see
+    #: :mod:`repro.fastsim.backend`).  The backend is an *execution* detail:
+    #: it is serialised with the spec and keys the result cache, but it is
+    #: excluded from :meth:`content_hash` so that both backends derive the
+    #: same seeds and simulate the identical scenario.
+    backend: str = "reference"
     params: Dict[str, Any] = field(default_factory=dict)
     edge: Dict[str, Any] = field(default_factory=dict)
     sim: Dict[str, Any] = field(default_factory=dict)
@@ -120,6 +126,8 @@ class ScenarioSpec:
         object.__setattr__(self, "algorithm", _component(self.algorithm))
         if self.topology is None:
             raise SpecError("a scenario spec needs a topology")
+        if not isinstance(self.backend, str) or not self.backend:
+            raise SpecError("backend must be a non-empty backend name")
         for forbidden in ("drift", "delay", "initial_logical", "params"):
             if forbidden in self.sim:
                 raise SpecError(
@@ -138,6 +146,7 @@ class ScenarioSpec:
             "drift": self.drift.to_dict() if self.drift else None,
             "delay": self.delay.to_dict() if self.delay else None,
             "algorithm": self.algorithm.to_dict(),
+            "backend": self.backend,
             "params": dict(self.params),
             "edge": dict(self.edge),
             "sim": dict(self.sim),
@@ -162,6 +171,7 @@ class ScenarioSpec:
             drift=_component(payload.get("drift")),
             delay=_component(payload.get("delay")),
             algorithm=_component(payload.get("algorithm", "aopt")),
+            backend=payload.get("backend", "reference"),
             params=dict(payload.get("params", {})),
             edge=dict(payload.get("edge", {})),
             sim=dict(payload.get("sim", {})),
@@ -171,8 +181,17 @@ class ScenarioSpec:
         )
 
     def canonical(self) -> str:
-        """Canonical JSON string of the spec (the hashing pre-image)."""
-        return canonical_json({"version": SPEC_FORMAT_VERSION, "spec": self.to_dict()})
+        """Canonical JSON string of the spec (the hashing pre-image).
+
+        The ``backend`` field is deliberately excluded: the content hash is
+        the *scenario identity* from which all randomness is seeded, and the
+        two engine backends must simulate the identical scenario so their
+        results can be compared (the result cache keys on hash *and* backend
+        separately, see :mod:`repro.experiments.executor`).
+        """
+        payload = self.to_dict()
+        payload.pop("backend", None)
+        return canonical_json({"version": SPEC_FORMAT_VERSION, "spec": payload})
 
     def content_hash(self) -> str:
         """SHA-256 of the canonical form; stable across processes and runs."""
@@ -198,3 +217,7 @@ class ScenarioSpec:
 
     def with_label(self, label: str) -> "ScenarioSpec":
         return replace(self, label=label)
+
+    def with_backend(self, backend: str) -> "ScenarioSpec":
+        """Same scenario (same content hash, same seeds), different engine."""
+        return replace(self, backend=backend)

@@ -1,0 +1,121 @@
+"""The engine-backend abstraction: pluggable simulation executors.
+
+A backend turns a materialised scenario (graph + algorithm factory +
+:class:`~repro.sim.runner.SimulationConfig`) into an engine object exposing
+the surface the executor and the summary code rely on:
+
+* ``run(duration) -> Trace``
+* ``nodes`` and ``algorithm(node)`` (per-node introspection for invariant
+  checks)
+* ``logical_value`` / ``hardware_value`` / ``global_skew`` (tests, analyses)
+
+Two backends ship with the library:
+
+* ``"reference"`` -- the object-oriented :class:`repro.sim.engine.Engine`,
+  faithful and fully general;
+* ``"fast"`` -- the struct-of-arrays :class:`repro.fastsim.engine.FastEngine`,
+  specialized for the AOPT family with oracle estimates and bit-identical to
+  the reference on the scenarios it supports.
+
+Backends are selected per scenario through the ``backend`` field of
+:class:`repro.experiments.spec.ScenarioSpec` (and hence from the CLI via
+``--set backend=fast`` or a ``--grid backend=reference,fast`` sweep axis).
+The registry here is intentionally tiny and open: downstream code can
+register additional executors (e.g. a process-sharded one) without touching
+the experiments subsystem.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.interfaces import AlgorithmFactory
+from ..network.dynamic_graph import DynamicGraph
+from ..sim.runner import SimulationConfig, build_engine
+from .engine import FastEngine
+
+try:  # Python 3.8+: typing.Protocol is available from 3.8 onwards.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - 3.9 floor guarantees Protocol
+    Protocol = object  # type: ignore
+
+    def runtime_checkable(cls):  # type: ignore
+        return cls
+
+
+class BackendError(KeyError):
+    """Raised when a backend lookup or registration fails."""
+
+
+@runtime_checkable
+class EngineBackend(Protocol):
+    """Protocol every engine backend implements."""
+
+    name: str
+
+    def build(
+        self,
+        graph: DynamicGraph,
+        algorithm_factory: AlgorithmFactory,
+        config: SimulationConfig,
+    ):
+        """Return a ready-to-run engine for the materialised scenario."""
+
+
+class ReferenceBackend:
+    """The object-oriented reference engine (fully general)."""
+
+    name = "reference"
+
+    def build(
+        self,
+        graph: DynamicGraph,
+        algorithm_factory: AlgorithmFactory,
+        config: SimulationConfig,
+    ):
+        return build_engine(graph, algorithm_factory, config)
+
+
+class FastBackend:
+    """The struct-of-arrays engine (AOPT + oracle estimates, bit-identical)."""
+
+    name = "fast"
+
+    def build(
+        self,
+        graph: DynamicGraph,
+        algorithm_factory: AlgorithmFactory,
+        config: SimulationConfig,
+    ):
+        return FastEngine(graph, algorithm_factory, config)
+
+
+BACKENDS: Dict[str, EngineBackend] = {}
+
+
+def register_backend(backend: EngineBackend) -> EngineBackend:
+    """Register a backend under its ``name``; duplicate names are rejected."""
+    name = backend.name
+    if not name or not isinstance(name, str):
+        raise BackendError("a backend needs a non-empty string name")
+    if name in BACKENDS:
+        raise BackendError(f"backend {name!r} is already registered")
+    BACKENDS[name] = backend
+    return backend
+
+
+def get_backend(name: str) -> EngineBackend:
+    """Look up a backend by name, with a helpful error on miss."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise BackendError(f"unknown backend {name!r}; known: {known}") from None
+
+
+def backend_names() -> List[str]:
+    return sorted(BACKENDS)
+
+
+register_backend(ReferenceBackend())
+register_backend(FastBackend())

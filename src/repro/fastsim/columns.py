@@ -1,0 +1,165 @@
+"""Struct-of-arrays state columns for the fast simulation backend.
+
+Instead of one ``_NodeState`` object per node (clocks, algorithm instance,
+API shim), the fast backend keeps every per-node scalar in a flat list indexed
+by node *position* (the index of the node id in the sorted node list), and the
+estimate-graph adjacency in a CSR (compressed sparse row) layout whose
+per-entry columns carry everything the AOPT control rule reads per neighbor:
+the neighbor's position, the edge uncertainty ``epsilon_e`` and the
+precomputed per-level trigger thresholds of
+:func:`repro.core.aopt_step.edge_threshold_table`.
+
+The CSR is rebuilt from the :class:`~repro.network.dynamic_graph.DynamicGraph`
+whenever scheduled edge events change the adjacency (rare compared to the
+per-``dt`` step rate); level promotions between rebuilds patch the level
+column in place through ``row_pos``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.aopt_step import ThresholdTable, edge_threshold_table
+from ..core.neighbor_sets import NeighborLevels
+from ..core.parameters import Parameters
+from ..network.dynamic_graph import DynamicGraph
+from ..network.edge import NodeId
+
+
+class NodeColumns:
+    """Flat per-node state columns (position-indexed, one list per field)."""
+
+    __slots__ = (
+        "ids",
+        "index",
+        "hardware",
+        "logical",
+        "last_hardware",
+        "max_estimate",
+        "next_broadcast",
+        "multiplier",
+        "mode",
+    )
+
+    def __init__(
+        self,
+        node_ids: Sequence[NodeId],
+        initial_logical: Optional[Dict[NodeId, float]] = None,
+    ):
+        initial_logical = initial_logical or {}
+        self.ids: List[NodeId] = list(node_ids)
+        self.index: Dict[NodeId, int] = {nid: i for i, nid in enumerate(self.ids)}
+        start = [float(initial_logical.get(nid, 0.0)) for nid in self.ids]
+        # Hardware clocks start at the same value as the logical clocks,
+        # mirroring Engine.__init__ (HardwareClock(rho, start_value)).
+        self.logical: List[float] = list(start)
+        self.hardware: List[float] = list(start)
+        # Seeding the tracker's last-hardware with the initial hardware value
+        # reproduces MaxEstimateTracker's first advance (delta == 0) exactly.
+        self.last_hardware: List[float] = list(start)
+        self.max_estimate: List[float] = [0.0] * len(self.ids)
+        self.next_broadcast: List[float] = [0.0] * len(self.ids)
+        self.multiplier: List[float] = [1.0] * len(self.ids)
+        #: 0 = slow, 1 = fast (MODE_* codes of :mod:`repro.core.aopt_step`).
+        self.mode: List[int] = [0] * len(self.ids)
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+class CSRAdjacency:
+    """CSR view of the directed estimate graph with per-edge AOPT constants.
+
+    ``indptr[i]:indptr[i+1]`` delimits node position ``i``'s row; within a
+    row, ``neighbor_index`` holds the neighbor's node position, ``epsilon``
+    the edge uncertainty, ``level`` the neighbor's insertion level already
+    clamped to ``max_level`` (0 for discovered-but-uninserted edges) and
+    ``tables`` the shared per-level trigger thresholds.  Threshold tables are
+    cached by ``(epsilon, tau)``, so graphs with uniform edge parameters
+    share a single table.
+    """
+
+    __slots__ = (
+        "params",
+        "max_level",
+        "indptr",
+        "neighbor_index",
+        "epsilon",
+        "level",
+        "tables",
+        "row_pos",
+        "max_degree",
+        "_table_cache",
+    )
+
+    def __init__(self, params: Parameters, max_level: int):
+        self.params = params
+        self.max_level = int(max_level)
+        self.indptr: List[int] = [0]
+        self.neighbor_index: List[int] = []
+        self.epsilon: List[float] = []
+        self.level: List[int] = []
+        self.tables: List[ThresholdTable] = []
+        #: Per-row mapping neighbor id -> flat position (for level patching).
+        self.row_pos: List[Dict[NodeId, int]] = []
+        self.max_degree: int = 0
+        self._table_cache: Dict[tuple, ThresholdTable] = {}
+
+    def table_for(self, epsilon: float, tau: float) -> ThresholdTable:
+        key = (epsilon, tau)
+        table = self._table_cache.get(key)
+        if table is None:
+            table = edge_threshold_table(self.params, epsilon, tau, self.max_level)
+            self._table_cache[key] = table
+        return table
+
+    def rebuild(
+        self,
+        graph: DynamicGraph,
+        index: Dict[NodeId, int],
+        levels: Sequence[NeighborLevels],
+    ) -> None:
+        """Rebuild every row from the graph's current directed adjacency."""
+        indptr: List[int] = [0]
+        neighbor_index: List[int] = []
+        epsilon_col: List[float] = []
+        level_col: List[int] = []
+        tables: List[ThresholdTable] = []
+        row_pos: List[Dict[NodeId, int]] = []
+        max_level = self.max_level
+        max_degree = 0
+        edge_params = graph.edge_params
+        for node in graph.nodes:
+            position = index[node]
+            node_levels = levels[position]
+            pos: Dict[NodeId, int] = {}
+            row_start = len(neighbor_index)
+            for nbr in sorted(graph.neighbors_view(node)):
+                edge = edge_params(node, nbr)
+                raw = node_levels.level_of(nbr)
+                if raw is None:
+                    raw = 0
+                pos[nbr] = len(neighbor_index)
+                neighbor_index.append(index[nbr])
+                epsilon_col.append(edge.epsilon)
+                level_col.append(max_level if raw >= max_level else raw)
+                tables.append(self.table_for(edge.epsilon, edge.tau))
+            degree = len(neighbor_index) - row_start
+            if degree > max_degree:
+                max_degree = degree
+            indptr.append(len(neighbor_index))
+            row_pos.append(pos)
+        self.indptr = indptr
+        self.neighbor_index = neighbor_index
+        self.epsilon = epsilon_col
+        self.level = level_col
+        self.tables = tables
+        self.row_pos = row_pos
+        self.max_degree = max_degree
+
+    def set_level(self, position: int, neighbor: NodeId, raw_level: int) -> None:
+        """Patch one entry's level column after a promotion (no rebuild)."""
+        pos = self.row_pos[position].get(neighbor)
+        if pos is not None:
+            max_level = self.max_level
+            self.level[pos] = max_level if raw_level >= max_level else raw_level

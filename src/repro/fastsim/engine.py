@@ -1,0 +1,717 @@
+"""The struct-of-arrays fast simulation engine.
+
+:class:`FastEngine` runs the same fixed-step simulation as
+:class:`repro.sim.engine.Engine` -- identical phase order per step (edge
+events, message deliveries, scheduled callbacks, control decisions, trace
+sample, clock advancement), identical floating-point expressions and
+identical random-draw order -- but executes the AOPT control rule as tight
+loops over flat columns (:mod:`repro.fastsim.columns`) instead of dispatching
+through per-node ``ClockSyncAlgorithm`` / ``NodeAPI`` / ``EstimateLayer``
+objects.  On the scenarios it supports it therefore produces **bit-identical**
+traces and summaries, roughly an order of magnitude faster.
+
+Supported configurations (everything the named scenarios of
+:mod:`repro.experiments.registry` use):
+
+* the AOPT algorithm family (:class:`~repro.core.algorithm.AOPT` and its
+  ``immediate_insertion`` variant) with one shared configuration per run;
+* the oracle estimate layer with any of its error strategies;
+* any drift model, any delay model, scheduled edge events (the full
+  leader/follower insertion handshake of Listing 1 is replicated),
+  adversarial initial clock profiles and ``drop_messages_on_edge_loss``.
+
+Unsupported configurations (broadcast-derived estimates, baseline
+algorithms, the diameter tracker) raise :class:`UnsupportedScenarioError` at
+construction time -- use the reference backend for those.
+
+Equivalence notes (why bit-identical is achievable):
+
+* clock and max-estimate updates use the very expressions of
+  :class:`~repro.core.clocks.HardwareClock` /
+  :class:`~repro.core.max_estimate.MaxEstimateTracker`;
+* trigger thresholds are precomputed with the expressions of
+  :mod:`repro.core.triggers` (see :mod:`repro.core.aopt_step`);
+* random draw order is preserved: delay draws happen per send in node order
+  and, within a node, in the iteration order of the neighbor *set* the
+  reference iterates (``NeighborLevels.discovered()``); the ``uniform``
+  estimate strategy likewise draws in the reference's set order;
+* message deliveries are ordered by ``(delivery_time, send sequence)``,
+  which matches the reference transport's ``(delivery_time, message_id)``;
+* scheduled callbacks go through the same :class:`EventScheduler`.
+
+Where a floating-point expression cannot be matched exactly the documented
+tolerance is 1e-9, but the differential suite currently verifies exact
+equality on every named scenario.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random as _random
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core import insertion as insertion_mod
+from ..core.algorithm import AOPT, AOPTConfig
+from ..core.aopt_step import MODE_NAMES, evaluate_mode_flat
+from ..core.interfaces import AlgorithmFactory
+from ..core.neighbor_sets import FULLY_INSERTED, NeighborLevels
+from ..network.dynamic_graph import DynamicGraph
+from ..network.edge import NodeId
+from ..sim.drift import DriftModel, NoDrift, TwoGroupAdversary
+from ..sim.delay import UniformRandomDelay
+from ..sim.engine import EngineError
+from ..sim.scheduler import EventScheduler
+from ..sim.trace import Trace, TraceSample
+from .columns import CSRAdjacency, NodeColumns
+
+
+class FastsimError(RuntimeError):
+    """Raised on inconsistent fast-engine usage."""
+
+
+class UnsupportedScenarioError(ValueError):
+    """The fast backend cannot run this configuration; use ``reference``."""
+
+
+#: Estimate strategy codes (indices into the dispatch in the control loop).
+_STRATEGY_CODES = {
+    "zero": 0,
+    "uniform": 1,
+    "underestimate": 2,
+    "overestimate": 3,
+    "toward_observer": 4,
+}
+
+#: Message kind codes for the in-flight heap.
+_MSG_BROADCAST = 0
+_MSG_INSERT_EDGE = 1
+
+
+class _FastAlgorithmView:
+    """Read-only stand-in for one node's algorithm (introspection only).
+
+    Exposes the attributes the analysis/summary code reads off a live
+    :class:`~repro.core.algorithm.AOPT` instance: ``levels`` (for the
+    Lemma 5.1 subset-chain check), ``mode`` and ``max_estimate``.
+    """
+
+    name = "AOPT"
+
+    def __init__(self, engine: "FastEngine", position: int):
+        self._engine = engine
+        self._position = position
+        self.levels: NeighborLevels = engine._levels[position]
+
+    def mode(self) -> str:
+        return MODE_NAMES[self._engine._cols.mode[self._position]]
+
+    def max_estimate(self) -> float:
+        return self._engine._cols.max_estimate[self._position]
+
+    def neighbor_level(self, neighbor: NodeId) -> Optional[int]:
+        return self.levels.level_of(neighbor)
+
+
+class FastEngine:
+    """Array-based fixed-step simulator specialized for AOPT + oracle estimates."""
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        algorithm_factory: AlgorithmFactory,
+        config,  # repro.sim.runner.SimulationConfig
+    ):
+        if config.estimate_mode != "oracle":
+            raise UnsupportedScenarioError(
+                "the fast backend supports only estimate_mode='oracle' "
+                f"(got {config.estimate_mode!r}); use backend='reference'"
+            )
+        if config.track_diameter:
+            raise UnsupportedScenarioError(
+                "the fast backend does not implement the diameter tracker; "
+                "use backend='reference'"
+            )
+        strategy = _STRATEGY_CODES.get(config.estimate_strategy)
+        if strategy is None:
+            raise UnsupportedScenarioError(
+                f"unknown estimate strategy {config.estimate_strategy!r}"
+            )
+        config.params.validate()
+        # Work on a private copy, exactly like the reference engine: applying
+        # scheduled edge events mutates the graph.
+        self.graph = graph.copy()
+        self.config = config
+        self.params = config.params
+        self.dt = float(config.dt)
+        self.time = 0.0
+        self.drift: DriftModel = config.drift or NoDrift(config.params.rho)
+        self.delay_model = (
+            config.delay
+            if config.delay is not None
+            else UniformRandomDelay(seed=config.delay_seed)
+        )
+        self.scheduler = EventScheduler()
+        self.trace = Trace(config.sample_interval)
+        self._next_sample_time = 0.0
+        self._drop_on_edge_loss = bool(config.drop_messages_on_edge_loss)
+
+        # -- algorithm configuration (probed from the factory) -------------
+        ids = self.graph.nodes
+        probe = algorithm_factory(ids[0])
+        if not isinstance(probe, AOPT):
+            raise UnsupportedScenarioError(
+                f"the fast backend runs the AOPT family only, got "
+                f"{type(probe).__name__}; use backend='reference'"
+            )
+        aopt_config: AOPTConfig = probe.config
+        for nid in ids[1:]:
+            other = algorithm_factory(nid)
+            if not isinstance(other, AOPT) or not (
+                other.config is aopt_config or other.config == aopt_config
+            ):
+                raise UnsupportedScenarioError(
+                    "the fast backend needs one shared AOPT configuration "
+                    "for every node; use backend='reference'"
+                )
+        self.aopt_config = aopt_config
+        self.aopt_params = aopt_config.params
+        self.max_level = aopt_config.max_level
+        self._fast_multiplier = 1.0 + self.aopt_params.mu
+        # MaxEstimateTracker.conservative_rate_factor, verbatim.
+        rho = self.aopt_params.rho
+        self._max_factor = (1.0 - rho) / (1.0 + rho)
+
+        # -- estimate layer (oracle, inlined) ------------------------------
+        self._strategy = strategy
+        self._estimate_rng = _random.Random(config.estimate_seed)
+
+        # -- per-node columns and bookkeeping ------------------------------
+        self._cols = NodeColumns(ids, config.initial_logical)
+        self._levels: List[NeighborLevels] = []
+        self._since: List[Dict[NodeId, float]] = []
+        self._schedules: List[Dict[NodeId, insertion_mod.InsertionSchedule]] = []
+        for nid in ids:
+            levels = NeighborLevels(self.max_level)
+            since: Dict[NodeId, float] = {}
+            # Mirrors AOPT.on_start(0.0, graph.neighbors(node)): iterate the
+            # same freshly-copied set so dict insertion order (and therefore
+            # the broadcast set order) matches the reference run.
+            for nbr in self.graph.neighbors(nid):
+                levels.add_fully_inserted(nbr)
+                since[nbr] = 0.0
+            self._levels.append(levels)
+            self._since.append(since)
+            self._schedules.append({})
+
+        # -- adjacency ------------------------------------------------------
+        self._csr = CSRAdjacency(self.aopt_params, self.max_level)
+        self._csr_dirty = True
+        self._rebuild_csr()
+
+        # -- transport ------------------------------------------------------
+        #: Heap of (delivery_time, seq, kind, sender, receiver, max_estimate,
+        #: insertion_anchor, global_skew_estimate).
+        self._inflight: List[Tuple] = []
+        self._msg_seq = 0
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.dropped_count = 0
+
+        self._refresh_next_event()
+
+    # ------------------------------------------------------------------
+    # State accessors (Engine-compatible surface)
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[NodeId]:
+        return list(self._cols.ids)
+
+    def logical_value(self, node: NodeId) -> float:
+        return self._cols.logical[self._position(node)]
+
+    def hardware_value(self, node: NodeId) -> float:
+        return self._cols.hardware[self._position(node)]
+
+    def algorithm(self, node: NodeId) -> _FastAlgorithmView:
+        return _FastAlgorithmView(self, self._position(node))
+
+    def logical_snapshot(self) -> Dict[NodeId, float]:
+        logical = self._cols.logical
+        return {nid: logical[i] for i, nid in enumerate(self._cols.ids)}
+
+    def hardware_snapshot(self) -> Dict[NodeId, float]:
+        hardware = self._cols.hardware
+        return {nid: hardware[i] for i, nid in enumerate(self._cols.ids)}
+
+    def global_skew(self) -> float:
+        values = self._cols.logical
+        return max(values) - min(values) if values else 0.0
+
+    def current_diameter(self) -> Optional[float]:
+        return None
+
+    def _position(self, node: NodeId) -> int:
+        try:
+            return self._cols.index[node]
+        except KeyError:
+            raise EngineError(f"unknown node {node}") from None
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> Trace:
+        """Advance the simulation by ``duration`` time units."""
+        if duration < 0.0:
+            raise EngineError("duration must be non-negative")
+        return self.run_until(self.time + duration)
+
+    def run_until(self, end_time: float) -> Trace:
+        """Advance the simulation until ``end_time`` (inclusive sampling)."""
+        if end_time < self.time - 1e-12:
+            raise EngineError("cannot run backwards in time")
+        while self.time < end_time - 1e-9:
+            self.step()
+        self._record_sample(force=True)
+        return self.trace
+
+    def step(self) -> None:
+        """Execute one simulation step of length ``dt``.
+
+        Phase order is identical to :meth:`repro.sim.engine.Engine.step`; the
+        guards merely skip phases that provably have no work.
+        """
+        t = self.time
+        next_event = self._next_event_time
+        if next_event is not None and next_event <= t + 1e-12:
+            self._apply_graph_events(t)
+        if self._inflight:
+            self._deliver_messages(t)
+        self.scheduler.run_due(t)
+        if self._csr_dirty:
+            self._rebuild_csr()
+        self._control_all(t)
+        self._record_sample()
+        self._advance_clocks(t)
+        self.time = t + self.dt
+
+    # ------------------------------------------------------------------
+    # Step phases
+    # ------------------------------------------------------------------
+    def _refresh_next_event(self) -> None:
+        pending = self.graph.pending_events()
+        self._next_event_time = pending[0].time if pending else None
+
+    def _apply_graph_events(self, t: float) -> None:
+        graph = self.graph
+        events = graph.pop_events_until(t)
+        for event in events:
+            existed = graph.has_directed_edge(event.source, event.target)
+            graph.apply_event(event)
+            exists = graph.has_directed_edge(event.source, event.target)
+            if exists and not existed:
+                self._on_edge_discovered(t, event.source, event.target)
+            elif existed and not exists:
+                self._on_edge_lost(t, event.source, event.target)
+        if events:
+            self._csr_dirty = True
+        self._refresh_next_event()
+
+    def _on_edge_discovered(self, t: float, node: NodeId, neighbor: NodeId) -> None:
+        position = self._cols.index[node]
+        levels = self._levels[position]
+        levels.discover(neighbor)
+        self._since[position][neighbor] = t
+        if self.aopt_config.immediate_insertion:
+            levels.promote(neighbor, FULLY_INSERTED)
+            return
+        if node < neighbor:  # this endpoint is the handshake leader
+            edge = self.graph.edge_params(node, neighbor)
+            wait = insertion_mod.leader_wait(self.aopt_params, edge)
+            self.scheduler.schedule(
+                t + wait,
+                lambda fire_time, u=node, v=neighbor: self._leader_check(
+                    fire_time, u, v
+                ),
+            )
+
+    def _on_edge_lost(self, t: float, node: NodeId, neighbor: NodeId) -> None:
+        position = self._cols.index[node]
+        self._levels[position].remove(neighbor)
+        self._schedules[position].pop(neighbor, None)
+        self._since[position].pop(neighbor, None)
+
+    def _deliver_messages(self, t: float) -> None:
+        inflight = self._inflight
+        limit = t + 1e-12
+        drop = self._drop_on_edge_loss
+        index = self._cols.index
+        max_estimate = self._cols.max_estimate
+        graph = self.graph
+        while inflight and inflight[0][0] <= limit:
+            (_, _, kind, sender, receiver, remote_max, anchor, skew_estimate) = (
+                heapq.heappop(inflight)
+            )
+            if drop and sender not in graph.neighbors_view(receiver):
+                self.dropped_count += 1
+                continue
+            self.delivered_count += 1
+            position = index[receiver]
+            if remote_max > max_estimate[position]:
+                max_estimate[position] = remote_max
+            if kind == _MSG_INSERT_EDGE:
+                edge = graph.edge_params(receiver, sender)
+                wait = insertion_mod.follower_wait(self.aopt_params, edge)
+                self.scheduler.schedule(
+                    t + wait,
+                    lambda fire_time, u=receiver, v=sender, a=anchor, g=skew_estimate: (
+                        self._follower_check(fire_time, u, v, a, g)
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    # Insertion handshake (Listing 1), mirrored from AOPT
+    # ------------------------------------------------------------------
+    def _edge_present_since(
+        self, node: NodeId, neighbor: NodeId, t: float, window: float
+    ) -> bool:
+        since = self._since[self._cols.index[node]].get(neighbor)
+        if since is None or neighbor not in self.graph.neighbors_view(node):
+            return False
+        return t - since >= window - 1e-9
+
+    def _leader_check(self, t: float, node: NodeId, neighbor: NodeId) -> None:
+        edge = self.graph.edge_params(node, neighbor)
+        wait = insertion_mod.leader_wait(self.aopt_params, edge)
+        if not self._edge_present_since(node, neighbor, t, wait):
+            return
+        skew_estimate = self.aopt_config.global_skew.value(t)
+        position = self._cols.index[node]
+        anchor = insertion_mod.insertion_anchor(
+            self._cols.logical[position], skew_estimate, self.aopt_params, edge
+        )
+        if neighbor in self.graph.neighbors_view(node):
+            bound = self.graph.edge_params(node, neighbor).delay
+            delay = self.delay_model.delay(node, neighbor, t, bound)
+            self._msg_seq += 1
+            heapq.heappush(
+                self._inflight,
+                (
+                    t + delay,
+                    self._msg_seq,
+                    _MSG_INSERT_EDGE,
+                    node,
+                    neighbor,
+                    self._cols.max_estimate[position],
+                    anchor,
+                    skew_estimate,
+                ),
+            )
+            self.sent_count += 1
+        self._install_schedule(node, neighbor, anchor, skew_estimate, edge)
+
+    def _follower_check(
+        self,
+        t: float,
+        node: NodeId,
+        neighbor: NodeId,
+        anchor: float,
+        skew_estimate: float,
+    ) -> None:
+        edge = self.graph.edge_params(node, neighbor)
+        wait = insertion_mod.follower_wait(self.aopt_params, edge)
+        if not self._edge_present_since(node, neighbor, t, wait):
+            return
+        self._install_schedule(node, neighbor, anchor, skew_estimate, edge)
+
+    def _install_schedule(
+        self,
+        node: NodeId,
+        neighbor: NodeId,
+        anchor: float,
+        skew_estimate: float,
+        edge,
+    ) -> None:
+        duration = self.aopt_config.insertion_duration(
+            self.aopt_params, skew_estimate, edge
+        )
+        schedule = insertion_mod.compute_insertion_times(
+            anchor,
+            duration,
+            self.max_level,
+            neighbor=neighbor,
+            global_skew_estimate=skew_estimate,
+        )
+        self._schedules[self._cols.index[node]][neighbor] = schedule
+
+    def _apply_due_insertions(self, position: int, logical: float) -> None:
+        levels = self._levels[position]
+        schedules = self._schedules[position]
+        csr = self._csr
+        completed: List[NodeId] = []
+        for neighbor, schedule in schedules.items():
+            if neighbor not in levels:
+                completed.append(neighbor)
+                continue
+            due = schedule.due_levels(logical)
+            if due:
+                for level in due:
+                    levels.promote(neighbor, level)
+                raw = levels.level_of(neighbor)
+                csr.set_level(position, neighbor, raw)
+            if schedule.is_complete():
+                completed.append(neighbor)
+        for neighbor in completed:
+            schedules.pop(neighbor, None)
+
+    # ------------------------------------------------------------------
+    # Broadcasting (Condition 4.3 flooding)
+    # ------------------------------------------------------------------
+    def _broadcast(self, position: int, t: float, max_estimate_value: float) -> None:
+        node = self._cols.ids[position]
+        graph = self.graph
+        out = graph.neighbors_view(node)
+        delay_of = self.delay_model.delay
+        edge_params = graph.edge_params
+        inflight = self._inflight
+        # Iterate the same set the reference iterates (set order drives the
+        # delay-model draw order, which must match for bit-identical runs).
+        for neighbor in self._levels[position].discovered():
+            if neighbor not in out:
+                continue
+            bound = edge_params(node, neighbor).delay
+            delay = delay_of(node, neighbor, t, bound)
+            self._msg_seq += 1
+            heapq.heappush(
+                inflight,
+                (
+                    t + delay,
+                    self._msg_seq,
+                    _MSG_BROADCAST,
+                    node,
+                    neighbor,
+                    max_estimate_value,
+                    0.0,
+                    0.0,
+                ),
+            )
+            self.sent_count += 1
+
+    # ------------------------------------------------------------------
+    # Control (Listing 3, flattened)
+    # ------------------------------------------------------------------
+    def _rebuild_csr(self) -> None:
+        self._csr.rebuild(self.graph, self._cols.index, self._levels)
+        self._csr_dirty = False
+        size = self._csr.max_degree
+        self._scratch_ahead = [0.0] * size
+        self._scratch_level = [0] * size
+        self._scratch_table: List[Any] = [None] * size
+
+    def _control_all(self, t: float) -> None:
+        cols = self._cols
+        logical = cols.logical
+        hardware = cols.hardware
+        last_hardware = cols.last_hardware
+        max_estimate = cols.max_estimate
+        next_broadcast = cols.next_broadcast
+        multiplier = cols.multiplier
+        mode = cols.mode
+        csr = self._csr
+        indptr = csr.indptr
+        neighbor_index = csr.neighbor_index
+        level_col = csr.level
+        epsilon_col = csr.epsilon
+        tables = csr.tables
+        aheads = self._scratch_ahead
+        view_levels = self._scratch_level
+        view_tables = self._scratch_table
+        schedules = self._schedules
+        factor = self._max_factor
+        broadcast_interval = self.aopt_config.broadcast_interval
+        iota = self.aopt_params.iota
+        fast_multiplier = self._fast_multiplier
+        strategy = self._strategy
+        uniform = strategy == 1
+        evaluate = evaluate_mode_flat
+        for i in range(len(logical)):
+            hw = hardware[i]
+            lg = logical[i]
+            # Max estimate maintenance (MaxEstimateTracker.advance).
+            delta = hw - last_hardware[i]
+            if delta < 0.0:
+                delta = 0.0
+            last_hardware[i] = hw
+            m = max_estimate[i] + delta * factor
+            if lg > m:
+                m = lg
+            max_estimate[i] = m
+            # Staged insertions due at the current logical time.
+            if schedules[i]:
+                self._apply_due_insertions(i, lg)
+            # Periodic broadcast, driven by the hardware clock.
+            if hw + 1e-12 >= next_broadcast[i]:
+                next_broadcast[i] = hw + broadcast_interval
+                self._broadcast(i, t, m)
+            # Neighbor views: estimates inlined from OracleEstimateLayer.
+            if uniform:
+                count = self._fill_views_set_order(i, lg, aheads, view_levels, view_tables)
+            else:
+                count = 0
+                end = indptr[i + 1]
+                for k in range(indptr[i], end):
+                    level = level_col[k]
+                    if level < 1:
+                        continue
+                    true_value = logical[neighbor_index[k]]
+                    if strategy == 0:  # zero error
+                        estimate = true_value
+                    elif strategy == 4:  # toward_observer
+                        epsilon = epsilon_col[k]
+                        if epsilon == 0.0:
+                            estimate = true_value
+                        else:
+                            difference = lg - true_value
+                            if difference > 0.0:
+                                error = difference if difference < epsilon else epsilon
+                            else:
+                                error = difference if difference > -epsilon else -epsilon
+                            estimate = true_value + error
+                            if estimate < 0.0:
+                                estimate = 0.0
+                    elif strategy == 2:  # underestimate
+                        epsilon = epsilon_col[k]
+                        estimate = true_value if epsilon == 0.0 else true_value - epsilon
+                        if estimate < 0.0:
+                            estimate = 0.0
+                    else:  # 3: overestimate
+                        estimate = true_value + epsilon_col[k]
+                    aheads[count] = estimate - lg
+                    view_levels[count] = level
+                    view_tables[count] = tables[k]
+                    count += 1
+            mode_code = evaluate(lg, m, iota, count, aheads, view_levels, view_tables)
+            if mode_code == 0:
+                multiplier[i] = 1.0
+                mode[i] = 0
+            elif mode_code == 1:
+                multiplier[i] = fast_multiplier
+                mode[i] = 1
+            # mode_code == 2 ("free"): keep the current mode and multiplier.
+
+    def _fill_views_set_order(
+        self,
+        position: int,
+        lg: float,
+        aheads: List[float],
+        view_levels: List[int],
+        view_tables: List[Any],
+    ) -> int:
+        """View building for the ``uniform`` strategy.
+
+        The uniform oracle draws one random number per estimate, so the draw
+        order must match the reference's iteration over
+        ``NeighborLevels.discovered()`` (a set) exactly.
+        """
+        node = self._cols.ids[position]
+        levels = self._levels[position]
+        graph = self.graph
+        out = graph.neighbors_view(node)
+        logical = self._cols.logical
+        index = self._cols.index
+        csr = self._csr
+        row_pos = csr.row_pos[position]
+        tables = csr.tables
+        max_level = self.max_level
+        uniform = self._estimate_rng.uniform
+        count = 0
+        for neighbor in levels.discovered():
+            level = levels.level_of(neighbor)
+            if level is None or level < 1:
+                continue
+            if neighbor not in out:
+                continue
+            epsilon = graph.edge_params(node, neighbor).epsilon
+            true_value = logical[index[neighbor]]
+            if epsilon == 0.0:
+                estimate = true_value
+            else:
+                estimate = true_value + uniform(-epsilon, epsilon)
+                if estimate < 0.0:
+                    estimate = 0.0
+            aheads[count] = estimate - lg
+            view_levels[count] = max_level if level >= max_level else level
+            view_tables[count] = tables[row_pos[neighbor]]
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Clock advancement
+    # ------------------------------------------------------------------
+    def _advance_clocks(self, t: float) -> None:
+        cols = self._cols
+        hardware = cols.hardware
+        logical = cols.logical
+        multiplier = cols.multiplier
+        dt = self.dt
+        drift = self.drift
+        n = len(hardware)
+        if type(drift) is NoDrift:
+            for i in range(n):
+                hardware[i] += dt  # 1.0 * dt
+                logical[i] += multiplier[i] * dt  # (1.0 * multiplier) * dt
+        elif type(drift) is TwoGroupAdversary:
+            swapped = False
+            if drift.swap_period is not None:
+                swapped = int(t // drift.swap_period) % 2 == 1
+            fast_rate = 1.0 + drift.rho
+            slow_rate = 1.0 - drift.rho
+            fast_nodes = drift.fast_nodes
+            slow_nodes = drift.slow_nodes
+            ids = cols.ids
+            for i in range(n):
+                node = ids[i]
+                fast = node in fast_nodes
+                slow = node in slow_nodes
+                if swapped:
+                    fast, slow = slow, fast
+                if fast:
+                    rate = fast_rate
+                elif slow:
+                    rate = slow_rate
+                else:
+                    rate = 1.0
+                hardware[i] += rate * dt
+                logical[i] += (rate * multiplier[i]) * dt
+        else:
+            ids = cols.ids
+            rate_of = drift.rate
+            for i in range(n):
+                rate = rate_of(ids[i], t)
+                hardware[i] += rate * dt
+                logical[i] += (rate * multiplier[i]) * dt
+
+    # ------------------------------------------------------------------
+    # Trace recording
+    # ------------------------------------------------------------------
+    def _record_sample(self, force: bool = False) -> None:
+        if not force and self.time + 1e-12 < self._next_sample_time:
+            return
+        cols = self._cols
+        ids = cols.ids
+        logical = cols.logical
+        hardware = cols.hardware
+        multiplier = cols.multiplier
+        mode = cols.mode
+        max_estimate = cols.max_estimate
+        sample = TraceSample(
+            time=self.time,
+            logical={nid: logical[i] for i, nid in enumerate(ids)},
+            hardware={nid: hardware[i] for i, nid in enumerate(ids)},
+            multipliers={nid: multiplier[i] for i, nid in enumerate(ids)},
+            modes={nid: MODE_NAMES[mode[i]] for i, nid in enumerate(ids)},
+            max_estimates={nid: max_estimate[i] for i, nid in enumerate(ids)},
+            diameter=None,
+        )
+        self.trace.record(sample)
+        if not force:
+            self._next_sample_time = self.time + self.trace.sample_interval

@@ -69,6 +69,17 @@ class DynamicGraph:
         self._require_node(node)
         return set(self._out[node])
 
+    def neighbors_view(self, node: NodeId) -> Set[NodeId]:
+        """Live out-neighbor set of ``node`` -- no defensive copy.
+
+        The returned set is the graph's internal state and MUST be treated as
+        read-only; it changes when edge events are applied.  Hot loops (the
+        fast simulation backend) use this accessor where the per-call copy of
+        :meth:`neighbors` would dominate the runtime.
+        """
+        self._require_node(node)
+        return self._out[node]
+
     def symmetric_neighbors(self, node: NodeId) -> Set[NodeId]:
         """Neighbors connected by an undirected (bidirectional) edge."""
         self._require_node(node)

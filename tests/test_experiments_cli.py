@@ -110,6 +110,111 @@ class TestSweep:
         assert "key=value" in capsys.readouterr().err
 
 
+class TestBackendSelection:
+    def test_run_with_fast_backend_executes_and_caches_separately(
+        self, tmp_path, capsys
+    ):
+        base = (
+            "run",
+            "quickstart_line",
+            "--set",
+            "n=4",
+            "--set",
+            "sim.duration=4.0",
+            "--cache-dir",
+            str(tmp_path),
+        )
+        assert run_cli(*base, "--set", "backend=fast") == 0
+        first = capsys.readouterr().out
+        assert "0 from cache, 1 executed" in first
+        # The reference run of the same scenario is a distinct cache entry.
+        assert run_cli(*base) == 0
+        assert "0 from cache, 1 executed" in capsys.readouterr().out
+        assert len(list(tmp_path.glob("*.fast.json"))) == 1
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_unknown_backend_fails_cleanly(self, tmp_path, capsys):
+        assert (
+            run_cli(
+                "run",
+                "quickstart_line",
+                "--set",
+                "backend=warp",
+                "--cache-dir",
+                str(tmp_path),
+            )
+            == 2
+        )
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_unsupported_fast_scenario_fails_cleanly(self, tmp_path, capsys):
+        assert (
+            run_cli(
+                "run",
+                "quickstart_line",
+                "--set",
+                "n=4",
+                "--set",
+                "sim.duration=2.0",
+                "--set",
+                "algorithm='MaxPropagation'",
+                "--set",
+                "backend=fast",
+                "--cache-dir",
+                str(tmp_path),
+            )
+            == 2
+        )
+        assert "AOPT" in capsys.readouterr().err
+
+    def test_list_mentions_backends(self, capsys):
+        assert run_cli("list") == 0
+        assert "backends:" in capsys.readouterr().out
+
+
+class TestBench:
+    def bench_args(self, *extra):
+        return (
+            "bench",
+            "--sizes",
+            "6",
+            "--topologies",
+            "line",
+            "--duration",
+            "2.0",
+            *extra,
+        )
+
+    def test_bench_smoke_writes_json(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_fastsim.json"
+        assert run_cli(*self.bench_args("--output", str(output))) == 0
+        table = capsys.readouterr().out
+        assert "speedup" in table
+        assert "identical" in table
+        payload = json.loads(output.read_text())
+        (entry,) = payload["results"]
+        assert entry["topology"] == "line"
+        assert entry["n"] == 6
+        assert entry["reference_seconds"] > 0
+        assert entry["fast_seconds"] > 0
+        assert entry["traces_identical"] is True
+        assert payload["backends"] == ["reference", "fast"]
+
+    def test_bench_json_stdout(self, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        assert run_cli(*self.bench_args("--output", str(output), "--json")) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["benchmark"] == "backend_speed"
+        assert payload["results"][0]["speedup"] > 0
+
+    def test_bench_rejects_bad_topology(self, capsys):
+        assert (
+            run_cli("bench", "--sizes", "6", "--topologies", "mobius", "--output", "")
+            == 2
+        )
+        assert "unknown bench topology" in capsys.readouterr().err
+
+
 class TestCacheCommand:
     def test_cache_listing_and_clear(self, tmp_path, capsys):
         run_cli(

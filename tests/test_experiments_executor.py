@@ -39,10 +39,27 @@ class TestCache:
         assert runner.stats.executed == 1
         assert runner.stats.cached == 1
 
-    def test_cache_file_is_keyed_by_content_hash(self, runner):
+    def test_cache_file_is_keyed_by_content_hash_and_backend(self, runner):
         spec = tiny_spec()
         runner.run(spec)
+        # Reference keeps the historical name so stale pre-backend entries
+        # are overwritten; other backends get a distinct, suffixed name.
         assert runner.cache_path(spec).name == f"{spec.content_hash()}.json"
+        fast = spec.with_backend("fast")
+        assert fast.content_hash() == spec.content_hash()
+        assert runner.cache_path(fast).name == f"{spec.content_hash()}.fast.json"
+        assert runner.cache_path(fast) != runner.cache_path(spec)
+
+    def test_stale_pre_backend_entry_is_overwritten_not_orphaned(self, runner):
+        spec = tiny_spec()
+        legacy = runner.cache_dir / f"{spec.content_hash()}.json"
+        legacy.parent.mkdir(parents=True, exist_ok=True)
+        legacy.write_text(json.dumps({"format": 1, "spec_hash": spec.content_hash()}))
+        run = runner.run(spec)
+        assert not run.from_cache  # the v1 entry is a miss ...
+        payload = json.loads(legacy.read_text())
+        assert payload["format"] != 1  # ... and was overwritten in place
+        assert payload["backend"] == "reference"
 
     def test_corrupt_cache_entry_is_a_miss(self, runner):
         spec = tiny_spec()

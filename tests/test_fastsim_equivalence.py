@@ -1,0 +1,211 @@
+"""Differential suite: the fast backend must match the reference engine.
+
+Every named scenario of the registry is executed on both backends (with
+shortened durations, everything else untouched) and the full cacheable
+payloads -- trace, summary, metadata -- are compared for **exact** equality.
+A randomized-spec fuzz case sweeps topologies, drifts, delay models and
+estimate strategies; a dedicated staged-insertion case drives the full
+leader/follower handshake and level promotion machinery on both engines.
+
+The engines share every seed because the spec content hash (the seed source)
+excludes the backend field; any divergence in float-operation order or random
+draw order therefore shows up as a hard assertion failure here.
+"""
+
+import random
+
+import pytest
+
+from repro.core.neighbor_sets import FULLY_INSERTED
+from repro.experiments import execute_spec, registry, scenario
+from repro.experiments.spec import ComponentSpec, ScenarioSpec
+from repro.fastsim import FastEngine
+from repro.sim.runner import build_engine
+
+#: The seven named scenarios, with overrides that shorten the runs while
+#: keeping every mechanism (churn, failover, insertion handshake) in play.
+NAMED_SCENARIO_OVERRIDES = {
+    "line_scaling": {"n": 6, "sim": {"duration": 30.0}},
+    "end_to_end_insertion": {
+        "n": 6,
+        "insertion_time": 10.0,
+        "sim": {"duration": 60.0},
+    },
+    "grid_periodic_churn": {"rows": 3, "cols": 3, "duration": 60.0},
+    "random_connected_sliding_window": {"n": 8, "duration": 60.0},
+    "star_hub_failover": {"n": 8, "failover_time": 15.0, "duration": 40.0},
+    "ring_sinusoidal_drift": {"n": 8, "duration": 30.0},
+    "quickstart_line": {"n": 6, "duration": 40.0},
+}
+
+
+def run_both(spec):
+    """Execute one spec on both backends; return the two payloads."""
+    reference = execute_spec(spec.with_backend("reference"))
+    fast = execute_spec(spec.with_backend("fast"))
+    return reference, fast
+
+
+def assert_equivalent(spec):
+    reference, fast = run_both(spec)
+    assert reference["trace"] == fast["trace"], (
+        f"trace mismatch for {spec.label or spec.topology.name}"
+    )
+    assert reference["summary"] == fast["summary"]
+    assert reference["meta"] == fast["meta"]
+    return reference, fast
+
+
+class TestNamedScenarioEquivalence:
+    def test_every_named_scenario_is_covered(self):
+        assert sorted(NAMED_SCENARIO_OVERRIDES) == registry.SCENARIOS.names()
+
+    @pytest.mark.parametrize("name", sorted(NAMED_SCENARIO_OVERRIDES))
+    def test_backends_agree(self, name):
+        spec = scenario(name, **NAMED_SCENARIO_OVERRIDES[name])
+        reference, fast = assert_equivalent(spec)
+        # The runs did something non-trivial.
+        assert reference["summary"]["sample_count"] > 5
+        assert reference["spec_hash"] == fast["spec_hash"]
+
+
+class TestStagedInsertionEquivalence:
+    """The full Listing 1/2 handshake: discovery, anchor, level promotions."""
+
+    def insertion_spec(self, algorithm="aopt"):
+        return ScenarioSpec(
+            label=f"fastsim_insertion/{algorithm}",
+            topology=ComponentSpec("line", {"n": 5}),
+            dynamics=ComponentSpec(
+                "end_to_end_insertion", {"insertion_time": 5.0}
+            ),
+            drift=ComponentSpec("two_group", {"swap_period": 20.0}),
+            algorithm=ComponentSpec(
+                algorithm,
+                # A tiny insertion duration so every level is promoted well
+                # within the run (I ~ 3 time units for this bound).
+                {"global_skew_bound": 10.0, "insertion_scale": 0.001},
+            ),
+            params={"rho": 0.015, "mu": 0.1},
+            edge={"epsilon": 1.0, "tau": 0.5, "delay": 2.0},
+            sim={
+                "dt": 0.1,
+                "duration": 45.0,
+                "sample_interval": 1.0,
+                "estimate_strategy": "toward_observer",
+            },
+        )
+
+    def test_staged_insertion_matches_and_completes(self):
+        spec = self.insertion_spec()
+        assert_equivalent(spec)
+        # Drive the engines directly to inspect the final level state.
+        materialised = registry.build_scenario(spec)
+        reference = build_engine(
+            materialised.graph,
+            materialised.algorithm_factory,
+            materialised.config,
+        )
+        reference.run(materialised.config.duration)
+        materialised = registry.build_scenario(spec)
+        fast = FastEngine(
+            materialised.graph,
+            materialised.algorithm_factory,
+            materialised.config,
+        )
+        fast.run(materialised.config.duration)
+        # The inserted end-to-end edge reached full insertion on both sides.
+        for engine in (reference, fast):
+            assert engine.algorithm(0).levels.level_of(4) == FULLY_INSERTED
+            assert engine.algorithm(4).levels.level_of(0) == FULLY_INSERTED
+            assert engine.algorithm(0).levels.subset_chain_holds()
+
+    def test_immediate_insertion_variant_matches(self):
+        assert_equivalent(self.insertion_spec(algorithm="immediate_insertion"))
+
+
+class TestFuzzEquivalence:
+    """Randomized specs over topologies x drifts x delays x strategies."""
+
+    TOPOLOGIES = [
+        ("line", lambda rng: {"n": rng.randint(3, 8)}),
+        ("ring", lambda rng: {"n": rng.randint(3, 8)}),
+        ("star", lambda rng: {"n": rng.randint(3, 8)}),
+        ("complete", lambda rng: {"n": rng.randint(3, 6)}),
+        ("grid", lambda rng: {"rows": rng.randint(2, 3), "cols": rng.randint(2, 3)}),
+        ("binary_tree", lambda rng: {"depth": rng.randint(2, 3)}),
+        ("random_tree", lambda rng: {"n": rng.randint(4, 8)}),
+        (
+            "random_connected",
+            lambda rng: {"n": rng.randint(4, 8), "extra_edge_probability": 0.2},
+        ),
+    ]
+    DRIFTS = [
+        None,
+        ("none", {}),
+        ("two_group", {"swap_period": 7.0}),
+        ("sinusoidal", {"period": 11.0}),
+        ("random_constant", {}),
+        ("random_walk", {"period": 3.0}),
+        ("ramp", {"reverse_period": 9.0}),
+    ]
+    DELAYS = [
+        None,
+        ("zero", {}),
+        ("fixed_fraction", {"fraction": 0.3}),
+        ("uniform", {"low_fraction": 0.1, "high_fraction": 0.9}),
+        ("directional", {}),
+    ]
+    STRATEGIES = ["zero", "uniform", "underestimate", "overestimate", "toward_observer"]
+
+    def random_spec(self, rng, case):
+        topology_name, args_fn = self.TOPOLOGIES[rng.randrange(len(self.TOPOLOGIES))]
+        topology_args = args_fn(rng)
+        drift = self.DRIFTS[rng.randrange(len(self.DRIFTS))]
+        delay = self.DELAYS[rng.randrange(len(self.DELAYS))]
+        strategy = self.STRATEGIES[rng.randrange(len(self.STRATEGIES))]
+        sim = {
+            "dt": rng.choice([0.05, 0.1]),
+            "duration": rng.choice([8.0, 12.0]),
+            "sample_interval": 1.0,
+            "estimate_strategy": strategy,
+        }
+        ramp = rng.choice([None, 0.5, 2.0])
+        return ScenarioSpec(
+            label=f"fastsim_fuzz/{case}/{topology_name}/{strategy}",
+            topology=ComponentSpec(topology_name, topology_args),
+            drift=ComponentSpec(*drift) if drift else None,
+            delay=ComponentSpec(*delay) if delay else None,
+            algorithm=ComponentSpec("aopt", {"global_skew_bound": 25.0}),
+            params={"rho": 0.015, "mu": 0.1},
+            edge={"epsilon": 1.0, "tau": 0.5, "delay": 2.0},
+            sim=sim,
+            initial_ramp_per_edge=ramp,
+        )
+
+    @pytest.mark.parametrize("case", range(6))
+    def test_random_specs_agree(self, case):
+        rng = random.Random(20260729 + case)
+        spec = self.random_spec(rng, case)
+        assert_equivalent(spec)
+
+    @pytest.mark.parametrize("delay", DELAYS)
+    def test_every_delay_model_agrees(self, delay):
+        """Deterministic sweep over all delay models (incl. the default)."""
+        spec = ScenarioSpec(
+            label=f"fastsim_delay/{delay[0] if delay else 'default'}",
+            topology=ComponentSpec("line", {"n": 5}),
+            drift=ComponentSpec("two_group", {"swap_period": 5.0}),
+            delay=ComponentSpec(*delay) if delay else None,
+            algorithm=ComponentSpec("aopt", {"global_skew_bound": 25.0}),
+            params={"rho": 0.015, "mu": 0.1},
+            edge={"epsilon": 1.0, "tau": 0.5, "delay": 2.0},
+            sim={
+                "dt": 0.1,
+                "duration": 10.0,
+                "sample_interval": 1.0,
+                "estimate_strategy": "toward_observer",
+            },
+            initial_ramp_per_edge=1.0,
+        )
+        assert_equivalent(spec)
