@@ -236,9 +236,13 @@ class Parameters:
         if path_weight <= 0.0:
             return 0.0
         ratio = 4.0 * global_skew_bound / path_weight
-        if ratio <= 1.0:
+        if ratio <= 0.0:
             level = 1
         else:
+            # The corollary's formula applies on both sides of ratio = 1;
+            # short-circuiting small ratios to level 1 (as an earlier
+            # revision did) makes the bound drop discontinuously as the
+            # path weight crosses 4*G, breaking monotonicity in the weight.
             level = max(2 + int(math.ceil(math.log(ratio, self.sigma))), 1)
         return (level + 1) * path_weight
 

@@ -18,12 +18,14 @@ in parallel, cache it on disk":
   command line (``list`` / ``run`` / ``sweep`` / ``bench`` / ``cache``).
 """
 
-from .bench import bench_spec, run_backend_bench, write_bench_json
+from .bench import bench_spec, compare_bench_payloads, run_backend_bench, write_bench_json
 from .executor import (
     ExperimentRun,
     ExperimentRunner,
     SweepStats,
+    batch_key,
     execute_spec,
+    execute_specs_batched,
     expand_grid,
 )
 from .registry import (
@@ -55,9 +57,12 @@ __all__ = [
     "ScenarioSpec",
     "SpecError",
     "SweepStats",
+    "batch_key",
     "bench_spec",
     "build_scenario",
+    "compare_bench_payloads",
     "execute_spec",
+    "execute_specs_batched",
     "expand_grid",
     "run_backend_bench",
     "scenario",

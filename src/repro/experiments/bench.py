@@ -140,6 +140,24 @@ def validate_bench_config(
             bench_spec(kind, n, duration=duration, dt=dt)
 
 
+#: Backends already warmed up in this process (see ``_warm_backend``).
+_WARMED: set = set()
+
+
+def _warm_backend(name: str) -> None:
+    """One small untimed run so first-use initialisation (numpy ufunc and
+    dispatch caches in particular, ~70 ms) never lands in a measurement."""
+    if name in _WARMED:
+        return
+    _WARMED.add(name)
+    spec = bench_spec("line", 8, duration=2.0)
+    scenario = registry.build_scenario(spec)
+    engine = get_backend(name).build(
+        scenario.graph, scenario.algorithm_factory, scenario.config
+    )
+    engine.run(scenario.config.duration)
+
+
 def run_backend_bench(
     *,
     sizes: Sequence[int] = DEFAULT_SIZES,
@@ -153,14 +171,17 @@ def run_backend_bench(
     """Time every backend on every grid point; return the results payload.
 
     Each measurement is the best of ``repeats`` end-to-end engine
-    construction + run timings (never cached).  When ``check_equivalence``
-    is set the traces of all backends are compared for exact equality and
-    the verdict recorded per grid point.
+    construction + run timings (never cached), taken after a small untimed
+    warm-up run per backend.  When ``check_equivalence`` is set the traces
+    of all backends are compared for exact equality and the verdict
+    recorded per grid point.
     """
     if repeats < 1:
         raise BenchError(f"repeats must be >= 1, got {repeats}")
     if len(backends) < 1:
         raise BenchError("need at least one backend to time")
+    for name in backends:
+        _warm_backend(name)
     results: List[Dict[str, Any]] = []
     for kind in topologies:
         for n in sizes:
@@ -194,10 +215,19 @@ def run_backend_bench(
                     payloads[name] = trace_to_payload(trace)
             node_steps = steps * scenario.graph.node_count
             entry["node_steps"] = node_steps
+            for name in backends:
+                entry[f"{name}_node_steps_per_second"] = (
+                    node_steps / entry[f"{name}_seconds"]
+                )
             if "reference" in backends and "fast" in backends:
                 entry["speedup"] = entry["reference_seconds"] / entry["fast_seconds"]
-                entry["fast_node_steps_per_second"] = (
-                    node_steps / entry["fast_seconds"]
+            if "reference" in backends and "vec" in backends:
+                entry["vec_speedup_over_reference"] = (
+                    entry["reference_seconds"] / entry["vec_seconds"]
+                )
+            if "fast" in backends and "vec" in backends:
+                entry["vec_speedup_over_fast"] = (
+                    entry["fast_seconds"] / entry["vec_seconds"]
                 )
             if check_equivalence and len(payloads) > 1:
                 first = next(iter(payloads.values()))
@@ -225,3 +255,58 @@ def write_bench_json(payload: Dict[str, Any], path) -> Path:
     target = Path(path)
     target.write_text(json.dumps(payload, indent=2) + "\n")
     return target
+
+
+def compare_bench_payloads(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    *,
+    threshold: float = 0.3,
+) -> List[Dict[str, Any]]:
+    """Regression check against a committed perf-trajectory file.
+
+    Matches grid points by ``(topology, n, steps)`` and compares every
+    backend timing present in both payloads; a point regresses when the new
+    time exceeds the baseline by more than ``threshold`` (0.3 = 30%
+    slower).  Points absent from either payload are skipped, so a small CI
+    grid can be compared against the full committed sweep.
+    """
+    if threshold < 0.0:
+        raise BenchError(f"threshold must be non-negative, got {threshold}")
+    baseline_points = {
+        (entry.get("topology"), entry.get("n"), entry.get("steps")): entry
+        for entry in baseline.get("results", [])
+    }
+    regressions: List[Dict[str, Any]] = []
+    matched = 0
+    for entry in current.get("results", []):
+        reference = baseline_points.get(
+            (entry.get("topology"), entry.get("n"), entry.get("steps"))
+        )
+        if reference is None:
+            continue
+        matched += 1
+        for key, old_seconds in reference.items():
+            if not key.endswith("_seconds") or key not in entry:
+                continue
+            new_seconds = entry[key]
+            if new_seconds > old_seconds * (1.0 + threshold):
+                regressions.append(
+                    {
+                        "topology": entry.get("topology"),
+                        "n": entry.get("n"),
+                        "backend": key[: -len("_seconds")],
+                        "baseline_seconds": old_seconds,
+                        "current_seconds": new_seconds,
+                        "ratio": new_seconds / old_seconds,
+                    }
+                )
+    if not matched:
+        # A comparison that matches nothing would pass forever while
+        # checking nothing -- surface it instead of staying silently green.
+        raise BenchError(
+            "no (topology, n, steps) grid point of this run matches the "
+            "baseline; align --sizes/--topologies/--duration/--dt with the "
+            "baseline file or regenerate it"
+        )
+    return regressions

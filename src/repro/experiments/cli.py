@@ -29,7 +29,7 @@ import sys
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..analysis import report
-from ..fastsim.backend import BackendError, backend_names
+from ..fastsim.backend import BackendError, backend_available, backend_names
 from ..fastsim.engine import UnsupportedScenarioError
 from . import bench as bench_mod
 from . import executor, registry
@@ -127,6 +127,7 @@ def _make_runner(args: argparse.Namespace) -> executor.ExperimentRunner:
         cache_dir=args.cache_dir,
         workers=args.workers,
         use_cache=not args.no_cache,
+        strict_backend=getattr(args, "strict_backend", False),
     )
 
 
@@ -178,7 +179,13 @@ def cmd_list(args: argparse.Namespace) -> int:
         f"algorithms: {', '.join(registry.ALGORITHMS.names())} "
         f"(aliases: {', '.join(sorted(registry.ALGORITHM_ALIASES))})"
     )
-    print(f"backends:   {', '.join(backend_names())} (--set backend=...)")
+    backends = []
+    for name in backend_names():
+        if backend_available(name):
+            backends.append(name)
+        else:
+            backends.append(f"{name} [unavailable: pip install 'repro[{name}]']")
+    print(f"backends:   {', '.join(backends)} (--set backend=...)")
     return 0
 
 
@@ -233,6 +240,47 @@ def _parse_csv(text: str, convert=str) -> list:
         raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
+def _load_compare_baseline(args: argparse.Namespace) -> Optional[dict]:
+    """Read the ``--compare`` baseline up front so typos fail in
+    milliseconds instead of after the timing sweep."""
+    if not args.compare:
+        return None
+    try:
+        with open(args.compare) as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise CliError(f"cannot read --compare baseline {args.compare!r}: {exc}")
+
+
+def _bench_regression_check(
+    args: argparse.Namespace, baseline: Optional[dict], payload: dict
+) -> int:
+    """Apply ``--compare`` against a committed perf-trajectory file."""
+    if baseline is None:
+        return 0
+    try:
+        regressions = bench_mod.compare_bench_payloads(
+            baseline, payload, threshold=args.compare_threshold
+        )
+    except bench_mod.BenchError as exc:
+        raise CliError(str(exc)) from exc
+    if not regressions:
+        print(
+            f"no regressions against {args.compare} "
+            f"(threshold {args.compare_threshold:.0%})",
+            file=sys.stderr,
+        )
+        return 0
+    for item in regressions:
+        print(
+            f"regression: {item['backend']} on {item['topology']}/n={item['n']}: "
+            f"{item['current_seconds']:.3f}s vs baseline "
+            f"{item['baseline_seconds']:.3f}s ({item['ratio']:.2f}x)",
+            file=sys.stderr,
+        )
+    return 3
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     sizes = _parse_csv(args.sizes, int)
     topologies = _parse_csv(args.topologies)
@@ -251,6 +299,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         backends=backends,
     )
+    baseline = _load_compare_baseline(args)
     payload = bench_mod.run_backend_bench(
         sizes=sizes,
         topologies=topologies,
@@ -263,27 +312,32 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.output:
         path = bench_mod.write_bench_json(payload, args.output)
         print(f"wrote {path}", file=sys.stderr)
+    status = _bench_regression_check(args, baseline, payload)
     if args.json:
         print(json.dumps(payload, indent=2))
-        return 0
+        return status
     columns = ["topology", "n", "steps"]
     columns += [f"{name} [s]" for name in backends]
-    has_speedup = "reference" in backends and "fast" in backends
-    if has_speedup:
-        columns.append("speedup")
+    speedup_keys = []
+    if "reference" in backends and "fast" in backends:
+        speedup_keys.append(("speedup", "speedup"))
+    if "fast" in backends and "vec" in backends:
+        speedup_keys.append(("vec/fast", "vec_speedup_over_fast"))
+    if "reference" in backends and "vec" in backends:
+        speedup_keys.append(("vec/ref", "vec_speedup_over_reference"))
+    columns += [label for label, _ in speedup_keys]
     if not args.no_check:
         columns.append("identical")
-    table = report.Table("backend speed: reference vs fast", columns)
+    table = report.Table("backend speed: " + " vs ".join(backends), columns)
     for entry in payload["results"]:
         row = [entry["topology"], entry["n"], entry["steps"]]
         row += [entry[f"{name}_seconds"] for name in backends]
-        if has_speedup:
-            row.append(entry["speedup"])
+        row += [entry[key] for _, key in speedup_keys]
         if not args.no_check:
             row.append(_fmt(entry.get("traces_identical")))
         table.add_row(*row)
     print("\n" + table.render() + "\n")
-    return 0
+    return status
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -321,6 +375,12 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--cache-dir", default=None, help="result cache directory")
     common.add_argument(
         "--no-cache", action="store_true", help="run without reading or writing the cache"
+    )
+    common.add_argument(
+        "--strict-backend",
+        action="store_true",
+        help="fail instead of falling back to the reference backend on "
+        "scenarios the selected backend cannot run",
     )
     common.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
@@ -381,6 +441,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-check",
         action="store_true",
         help="skip the cross-backend trace equality check",
+    )
+    bench_parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE.json",
+        help="fail (exit 3) if any backend regresses more than the "
+        "threshold against this perf-trajectory file",
+    )
+    bench_parser.add_argument(
+        "--compare-threshold",
+        type=float,
+        default=0.3,
+        help="allowed slowdown fraction for --compare (default: %(default)s)",
     )
     bench_parser.add_argument(
         "--json", action="store_true", help="emit the results JSON to stdout"

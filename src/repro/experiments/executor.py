@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import logging
 import multiprocessing
 import os
 import time
@@ -27,16 +28,30 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .. import __version__ as _library_version
-from ..fastsim.backend import get_backend
+from ..fastsim.backend import backend_available, get_backend
+from ..fastsim.engine import UnsupportedScenarioError
 from . import registry
 from .results import RunSummary, summarize, trace_from_payload, trace_to_payload
 from .spec import ScenarioSpec
 
+logger = logging.getLogger(__name__)
+
 #: Bumped when the cache payload layout changes; mismatching entries are
 #: treated as cache misses and overwritten.  Version 2 added the engine
 #: backend to the cache key and payload (reference and fast results of the
-#: same scenario are distinct cache entries that may never collide).
-CACHE_FORMAT_VERSION = 2
+#: same scenario are distinct cache entries that may never collide);
+#: version 3 added ``trace_stride`` to the key and the serialised spec.
+CACHE_FORMAT_VERSION = 3
+
+#: Key under which a worker reports an unsupported-backend failure instead
+#: of raising (so one spec cannot poison a whole pool map).
+_UNSUPPORTED_KEY = "__unsupported_backend__"
+
+#: Backends whose cache-miss specs are grouped into lockstep batches.
+BATCHABLE_BACKENDS = ("vec",)
+
+#: Minimum group size for which run batching beats per-run execution.
+MIN_BATCH_SIZE = 2
 
 _CACHE_DIR_ENV = "REPRO_EXPERIMENTS_CACHE_DIR"
 
@@ -83,19 +98,13 @@ def _meta_from_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     return meta
 
 
-def execute_spec(spec: ScenarioSpec) -> Dict[str, Any]:
-    """Run one spec to completion and return the cacheable payload.
-
-    The spec's ``backend`` field picks the engine (reference or fast); both
-    backends receive the identical materialised scenario because seeds
-    derive from the backend-independent content hash.
-    """
-    started = time.perf_counter()
-    scenario = registry.build_scenario(spec)
-    engine = get_backend(spec.backend).build(
-        scenario.graph, scenario.algorithm_factory, scenario.config
-    )
-    trace = engine.run(scenario.config.duration)
+def _payload_for(
+    spec: ScenarioSpec,
+    scenario: "registry.MaterialisedScenario",
+    engine,
+    trace,
+    wall_time: float,
+) -> Dict[str, Any]:
     summary = summarize(
         spec=spec,
         trace=trace,
@@ -115,13 +124,79 @@ def execute_spec(spec: ScenarioSpec) -> Dict[str, Any]:
         "summary": summary.to_dict(),
         "meta": _meta_to_payload(scenario.meta),
         "trace": trace_to_payload(trace),
-        "wall_time": time.perf_counter() - started,
+        "wall_time": wall_time,
     }
 
 
+def execute_spec(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Run one spec to completion and return the cacheable payload.
+
+    The spec's ``backend`` field picks the engine (reference, fast or vec);
+    every backend receives the identical materialised scenario because seeds
+    derive from the backend-independent content hash.
+    """
+    started = time.perf_counter()
+    scenario = registry.build_scenario(spec)
+    engine = get_backend(spec.backend).build(
+        scenario.graph, scenario.algorithm_factory, scenario.config
+    )
+    trace = engine.run(scenario.config.duration)
+    return _payload_for(spec, scenario, engine, trace, time.perf_counter() - started)
+
+
+def batch_key(spec: ScenarioSpec) -> Optional[Tuple]:
+    """Grouping key for run batching, or ``None`` when not batchable.
+
+    Batched runs advance in lockstep, so they must share the step length,
+    the duration and the estimate strategy (one strategy kernel per batch);
+    everything else -- topology, size, drift, seeds -- may differ per run.
+    """
+    if spec.backend not in BATCHABLE_BACKENDS:
+        return None
+    sim = spec.sim
+    return (
+        spec.backend,
+        sim.get("dt", 0.05),
+        sim.get("duration", 100.0),
+        sim.get("estimate_mode", "oracle"),
+        sim.get("estimate_strategy", "zero"),
+    )
+
+
+def execute_specs_batched(specs: Sequence[ScenarioSpec]) -> List[Dict[str, Any]]:
+    """Run compatible vec specs as one lockstep batch (see ``batch_key``).
+
+    Returns one payload per spec, bit-identical to :func:`execute_spec` of
+    the same spec.  Raises :class:`UnsupportedScenarioError` if any spec
+    cannot run on the vec backend -- callers group with ``batch_key`` and
+    fall back to per-run execution on failure.
+    """
+    from ..vecsim.engine import build_batch
+
+    started = time.perf_counter()
+    scenarios = [registry.build_scenario(spec) for spec in specs]
+    context = build_batch(
+        [(sc.graph, sc.algorithm_factory, sc.config) for sc in scenarios]
+    )
+    context.run_until(scenarios[0].config.duration)
+    wall_time = (time.perf_counter() - started) / max(len(specs), 1)
+    return [
+        _payload_for(spec, sc, engine, engine.trace, wall_time)
+        for spec, sc, engine in zip(specs, scenarios, context.engines)
+    ]
+
+
 def _pool_worker(spec_payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Top-level (hence picklable) worker entry point."""
-    return execute_spec(ScenarioSpec.from_dict(spec_payload))
+    """Top-level (hence picklable) worker entry point.
+
+    Unsupported-backend failures are reported as a marker payload instead of
+    raised, so the parent can apply its fallback policy without losing the
+    rest of the pool map.
+    """
+    try:
+        return execute_spec(ScenarioSpec.from_dict(spec_payload))
+    except UnsupportedScenarioError as exc:
+        return {_UNSUPPORTED_KEY: str(exc)}
 
 
 # ----------------------------------------------------------------------
@@ -137,6 +212,10 @@ class ExperimentRun:
     meta: Dict[str, Any]
     from_cache: bool = False
     wall_time: float = 0.0
+    #: Set when the spec's backend could not run this scenario and the
+    #: executor fell back to ``reference`` (``spec.backend`` is then the
+    #: backend that actually ran).
+    requested_backend: Optional[str] = None
 
     @property
     def graph(self):
@@ -151,17 +230,30 @@ class SweepStats:
     total: int = 0
     cached: int = 0
     executed: int = 0
+    #: Of the executed specs, how many ran inside a vectorized run batch.
+    batched: int = 0
+    #: Specs whose backend could not run them and fell back to reference.
+    fallbacks: int = 0
     wall_time: float = 0.0
 
     def describe(self) -> str:
+        extras = []
+        if self.batched:
+            extras.append(f"{self.batched} in vector batches")
+        if self.fallbacks:
+            extras.append(f"{self.fallbacks} fell back to reference")
+        suffix = f" ({', '.join(extras)})" if extras else ""
         return (
             f"{self.total} spec(s): {self.cached} from cache, "
-            f"{self.executed} executed in {self.wall_time:.1f}s"
+            f"{self.executed} executed in {self.wall_time:.1f}s{suffix}"
         )
 
 
 def _run_from_payload(
-    spec: ScenarioSpec, payload: Dict[str, Any], from_cache: bool
+    spec: ScenarioSpec,
+    payload: Dict[str, Any],
+    from_cache: bool,
+    requested_backend: Optional[str] = None,
 ) -> ExperimentRun:
     return ExperimentRun(
         spec=spec,
@@ -170,6 +262,7 @@ def _run_from_payload(
         meta=_meta_from_payload(payload.get("meta", {})),
         from_cache=from_cache,
         wall_time=payload.get("wall_time", 0.0),
+        requested_backend=requested_backend,
     )
 
 
@@ -178,6 +271,14 @@ class ExperimentRunner:
 
     ``stats`` accumulates over the runner's lifetime; :meth:`run_all` also
     returns the stats of that one batch.
+
+    Cache-miss specs on a batchable backend (``vec``) are grouped into
+    lockstep run batches (same ``dt``/duration/strategy) before anything is
+    handed to the multiprocessing pool.  When a spec's backend raises
+    :class:`UnsupportedScenarioError` the runner re-executes it on the
+    ``reference`` backend with a logged warning -- pass
+    ``strict_backend=True`` (CLI: ``--strict-backend``) to make that a hard
+    error instead.
     """
 
     def __init__(
@@ -186,12 +287,16 @@ class ExperimentRunner:
         *,
         workers: int = 1,
         use_cache: bool = True,
+        strict_backend: bool = False,
+        batching: bool = True,
     ):
         if workers < 1:
             raise ExecutorError(f"workers must be >= 1, got {workers}")
         self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
         self.workers = workers
         self.use_cache = use_cache
+        self.strict_backend = strict_backend
+        self.batching = batching
         self.stats = SweepStats()
 
     # -- cache ----------------------------------------------------------
@@ -202,9 +307,13 @@ class ExperimentRunner:
         # The reference backend keeps the historical ``{hash}.json`` name so
         # pre-backend cache entries are found, recognised as stale via the
         # format version check, and overwritten instead of orphaned.
-        if spec.backend == "reference":
-            return self.cache_dir / f"{spec.content_hash()}.json"
-        return self.cache_dir / f"{spec.content_hash()}.{spec.backend}.json"
+        # Strided traces likewise get their own ``.s{k}`` suffix.
+        name = spec.content_hash()
+        if spec.backend != "reference":
+            name += f".{spec.backend}"
+        if spec.trace_stride != 1:
+            name += f".s{spec.trace_stride}"
+        return self.cache_dir / f"{name}.json"
 
     def load_cached(self, spec: ScenarioSpec) -> Optional[Dict[str, Any]]:
         path = self.cache_path(spec)
@@ -222,6 +331,8 @@ class ExperimentRunner:
         if payload.get("spec_hash") != spec.content_hash():
             return None
         if payload.get("backend", "reference") != spec.backend:
+            return None
+        if payload.get("spec", {}).get("trace_stride", 1) != spec.trace_stride:
             return None
         return payload
 
@@ -255,9 +366,10 @@ class ExperimentRunner:
     ) -> Tuple[List[ExperimentRun], SweepStats]:
         """Run a batch of specs, preserving input order.
 
-        Cache hits are served directly; the misses are executed either inline
-        (``workers == 1``) or on a ``multiprocessing`` pool.  Results are
-        written back to the cache before returning.
+        Cache hits are served directly.  Of the misses, compatible specs on
+        a batchable backend run as lockstep vector batches in-process; the
+        rest execute inline (``workers == 1``) or on a ``multiprocessing``
+        pool.  Results are written back to the cache before returning.
         """
         workers = self.workers if workers is None else workers
         if workers < 1:
@@ -265,6 +377,8 @@ class ExperimentRunner:
         started = time.perf_counter()
         batch = SweepStats(total=len(specs))
         outcomes: Dict[int, Tuple[Dict[str, Any], bool]] = {}
+        run_specs: Dict[int, ScenarioSpec] = {}
+        requested: Dict[int, str] = {}
         missing: List[Tuple[int, ScenarioSpec]] = []
         for index, spec in enumerate(specs):
             payload = self.load_cached(spec) if self.use_cache else None
@@ -274,6 +388,8 @@ class ExperimentRunner:
             else:
                 missing.append((index, spec))
 
+        missing = self._run_batched(missing, outcomes, batch)
+
         if missing:
             if workers > 1 and len(missing) > 1:
                 with multiprocessing.Pool(min(workers, len(missing))) as pool:
@@ -281,23 +397,105 @@ class ExperimentRunner:
                         _pool_worker, [spec.to_dict() for _, spec in missing]
                     )
             else:
-                payloads = [execute_spec(spec) for _, spec in missing]
+                payloads = []
+                for _, spec in missing:
+                    try:
+                        payloads.append(execute_spec(spec))
+                    except UnsupportedScenarioError as exc:
+                        payloads.append({_UNSUPPORTED_KEY: str(exc)})
             for (index, spec), payload in zip(missing, payloads):
-                if self.use_cache:
+                from_cache = False
+                if _UNSUPPORTED_KEY in payload:
+                    payload, spec, from_cache = self._fallback(
+                        spec, payload[_UNSUPPORTED_KEY]
+                    )
+                    run_specs[index] = spec
+                    requested[index] = specs[index].backend
+                    batch.fallbacks += 1
+                if self.use_cache and not from_cache:
                     self.store(spec, payload)
-                outcomes[index] = (payload, False)
-                batch.executed += 1
+                outcomes[index] = (payload, from_cache)
+                if from_cache:
+                    batch.cached += 1
+                else:
+                    batch.executed += 1
 
         batch.wall_time = time.perf_counter() - started
         self.stats.total += batch.total
         self.stats.cached += batch.cached
         self.stats.executed += batch.executed
+        self.stats.batched += batch.batched
+        self.stats.fallbacks += batch.fallbacks
         self.stats.wall_time += batch.wall_time
         runs = [
-            _run_from_payload(specs[index], *outcomes[index])
+            _run_from_payload(
+                run_specs.get(index, specs[index]),
+                *outcomes[index],
+                requested_backend=requested.get(index),
+            )
             for index in range(len(specs))
         ]
         return runs, batch
+
+    def _run_batched(
+        self,
+        missing: List[Tuple[int, ScenarioSpec]],
+        outcomes: Dict[int, Tuple[Dict[str, Any], bool]],
+        batch: SweepStats,
+    ) -> List[Tuple[int, ScenarioSpec]]:
+        """Execute batchable miss groups in lockstep; return the remainder.
+
+        Groups that fail to build (unsupported scenario on the vec backend)
+        fall through untouched so the per-run path can apply the reference
+        fallback policy spec by spec.
+        """
+        if not self.batching:
+            return missing
+        groups: Dict[Tuple, List[Tuple[int, ScenarioSpec]]] = {}
+        for index, spec in missing:
+            key = batch_key(spec)
+            # An unavailable backend (vec without numpy) skips batching so
+            # the per-run path raises its clear BackendUnavailableError.
+            if key is not None and backend_available(spec.backend):
+                groups.setdefault(key, []).append((index, spec))
+        handled = set()
+        for key, group in groups.items():
+            if len(group) < MIN_BATCH_SIZE:
+                continue
+            try:
+                payloads = execute_specs_batched([spec for _, spec in group])
+            except UnsupportedScenarioError:
+                continue
+            for (index, spec), payload in zip(group, payloads):
+                if self.use_cache:
+                    self.store(spec, payload)
+                outcomes[index] = (payload, False)
+                batch.executed += 1
+                batch.batched += 1
+                handled.add(index)
+        return [(index, spec) for index, spec in missing if index not in handled]
+
+    def _fallback(
+        self, spec: ScenarioSpec, reason: str
+    ) -> Tuple[Dict[str, Any], ScenarioSpec, bool]:
+        """Re-run an unsupported spec on the reference backend (or raise).
+
+        Returns ``(payload, reference_spec, from_cache)`` -- a repeated
+        sweep finds the earlier fallback result in the reference cache.
+        """
+        if self.strict_backend:
+            raise UnsupportedScenarioError(reason)
+        logger.warning(
+            "backend %r cannot run %s (%s); falling back to 'reference'",
+            spec.backend,
+            spec.label or spec.topology.name,
+            reason,
+        )
+        fallback_spec = spec.with_backend("reference")
+        payload = self.load_cached(fallback_spec) if self.use_cache else None
+        if payload is not None:
+            return payload, fallback_spec, True
+        return execute_spec(fallback_spec), fallback_spec, False
 
 
 # ----------------------------------------------------------------------

@@ -550,6 +550,12 @@ def build_scenario(spec: ScenarioSpec) -> MaterialisedScenario:
     # bit-identical regardless of process or worker count.
     sim_kwargs.setdefault("delay_seed", (seed + 4) % (2 ** 31))
     sim_kwargs.setdefault("estimate_seed", (seed + 5) % (2 ** 31))
+    if spec.trace_stride != 1:
+        # Record every k-th sample; an observation detail, so it scales the
+        # sample interval without touching the scenario identity (seeds).
+        sim_kwargs["sample_interval"] = (
+            float(sim_kwargs.get("sample_interval", 1.0)) * spec.trace_stride
+        )
     config = SimulationConfig(
         params=params,
         drift=drift,
@@ -584,15 +590,20 @@ def build_scenario(spec: ScenarioSpec) -> MaterialisedScenario:
 def scenario(name: str, **overrides: Any) -> ScenarioSpec:
     """Build the named scenario spec with builder-level overrides.
 
-    ``backend`` is accepted as a pseudo-override for every named scenario:
-    it selects the engine backend (``"reference"`` / ``"fast"``) without the
-    individual builders having to know about execution concerns, so the CLI
-    can say ``--set backend=fast`` or sweep ``--grid backend=reference,fast``.
+    ``backend`` and ``trace_stride`` are accepted as pseudo-overrides for
+    every named scenario: they select execution details (engine backend,
+    trace decimation) without the individual builders having to know about
+    execution concerns, so the CLI can say ``--set backend=vec``, sweep
+    ``--grid backend=reference,fast,vec`` or thin long traces with
+    ``--set trace_stride=10``.
     """
     backend = overrides.pop("backend", None)
+    trace_stride = overrides.pop("trace_stride", None)
     spec = SCENARIOS.get(name)(**overrides)
     if backend is not None:
         spec = replace(spec, backend=str(backend))
+    if trace_stride is not None:
+        spec = replace(spec, trace_stride=trace_stride)
     return spec
 
 

@@ -100,12 +100,19 @@ class ScenarioSpec:
     drift: Optional[ComponentSpec] = None
     delay: Optional[ComponentSpec] = None
     algorithm: ComponentSpec = field(default_factory=lambda: ComponentSpec("aopt"))
-    #: Which engine executes the run (``"reference"`` or ``"fast"``; see
-    #: :mod:`repro.fastsim.backend`).  The backend is an *execution* detail:
-    #: it is serialised with the spec and keys the result cache, but it is
-    #: excluded from :meth:`content_hash` so that both backends derive the
-    #: same seeds and simulate the identical scenario.
+    #: Which engine executes the run (``"reference"``, ``"fast"`` or
+    #: ``"vec"``; see :mod:`repro.fastsim.backend`).  The backend is an
+    #: *execution* detail: it is serialised with the spec and keys the result
+    #: cache, but it is excluded from :meth:`content_hash` so that all
+    #: backends derive the same seeds and simulate the identical scenario.
     backend: str = "reference"
+    #: Record every k-th sample: the effective sample interval is
+    #: ``sample_interval * trace_stride``.  Like ``backend`` this is an
+    #: execution/observation detail -- serialised and cache-keyed but
+    #: excluded from :meth:`content_hash`, so strided runs simulate the
+    #: identical scenario (summaries over the strided trace agree across
+    #: backends).
+    trace_stride: int = 1
     params: Dict[str, Any] = field(default_factory=dict)
     edge: Dict[str, Any] = field(default_factory=dict)
     sim: Dict[str, Any] = field(default_factory=dict)
@@ -128,6 +135,10 @@ class ScenarioSpec:
             raise SpecError("a scenario spec needs a topology")
         if not isinstance(self.backend, str) or not self.backend:
             raise SpecError("backend must be a non-empty backend name")
+        if not isinstance(self.trace_stride, int) or isinstance(self.trace_stride, bool):
+            raise SpecError(f"trace_stride must be an int, got {self.trace_stride!r}")
+        if self.trace_stride < 1:
+            raise SpecError(f"trace_stride must be >= 1, got {self.trace_stride}")
         for forbidden in ("drift", "delay", "initial_logical", "params"):
             if forbidden in self.sim:
                 raise SpecError(
@@ -147,6 +158,7 @@ class ScenarioSpec:
             "delay": self.delay.to_dict() if self.delay else None,
             "algorithm": self.algorithm.to_dict(),
             "backend": self.backend,
+            "trace_stride": self.trace_stride,
             "params": dict(self.params),
             "edge": dict(self.edge),
             "sim": dict(self.sim),
@@ -172,6 +184,7 @@ class ScenarioSpec:
             delay=_component(payload.get("delay")),
             algorithm=_component(payload.get("algorithm", "aopt")),
             backend=payload.get("backend", "reference"),
+            trace_stride=payload.get("trace_stride", 1),
             params=dict(payload.get("params", {})),
             edge=dict(payload.get("edge", {})),
             sim=dict(payload.get("sim", {})),
@@ -183,14 +196,16 @@ class ScenarioSpec:
     def canonical(self) -> str:
         """Canonical JSON string of the spec (the hashing pre-image).
 
-        The ``backend`` field is deliberately excluded: the content hash is
-        the *scenario identity* from which all randomness is seeded, and the
-        two engine backends must simulate the identical scenario so their
-        results can be compared (the result cache keys on hash *and* backend
+        The ``backend`` and ``trace_stride`` fields are deliberately
+        excluded: the content hash is the *scenario identity* from which all
+        randomness is seeded, and every backend (and every trace stride)
+        must simulate the identical scenario so their results can be
+        compared (the result cache keys on hash, backend *and* stride
         separately, see :mod:`repro.experiments.executor`).
         """
         payload = self.to_dict()
         payload.pop("backend", None)
+        payload.pop("trace_stride", None)
         return canonical_json({"version": SPEC_FORMAT_VERSION, "spec": payload})
 
     def content_hash(self) -> str:
@@ -221,3 +236,7 @@ class ScenarioSpec:
     def with_backend(self, backend: str) -> "ScenarioSpec":
         """Same scenario (same content hash, same seeds), different engine."""
         return replace(self, backend=backend)
+
+    def with_trace_stride(self, trace_stride: int) -> "ScenarioSpec":
+        """Same scenario, recording only every k-th sample."""
+        return replace(self, trace_stride=trace_stride)

@@ -21,9 +21,13 @@ Modules:
 from .backend import (
     BACKENDS,
     BackendError,
+    BackendUnavailableError,
     EngineBackend,
     FastBackend,
     ReferenceBackend,
+    VecBackend,
+    available_backend_names,
+    backend_available,
     backend_names,
     get_backend,
     register_backend,
@@ -33,12 +37,16 @@ from .engine import FastEngine, FastsimError, UnsupportedScenarioError
 __all__ = [
     "BACKENDS",
     "BackendError",
+    "BackendUnavailableError",
     "EngineBackend",
     "FastBackend",
     "FastEngine",
     "FastsimError",
     "ReferenceBackend",
     "UnsupportedScenarioError",
+    "VecBackend",
+    "available_backend_names",
+    "backend_available",
     "backend_names",
     "get_backend",
     "register_backend",

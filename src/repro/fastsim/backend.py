@@ -9,23 +9,31 @@ the surface the executor and the summary code rely on:
   checks)
 * ``logical_value`` / ``hardware_value`` / ``global_skew`` (tests, analyses)
 
-Two backends ship with the library:
+Three backends ship with the library:
 
 * ``"reference"`` -- the object-oriented :class:`repro.sim.engine.Engine`,
   faithful and fully general;
 * ``"fast"`` -- the struct-of-arrays :class:`repro.fastsim.engine.FastEngine`,
   specialized for the AOPT family with oracle estimates and bit-identical to
-  the reference on the scenarios it supports.
+  the reference on the scenarios it supports;
+* ``"vec"`` -- the NumPy-vectorized :class:`repro.vecsim.engine.VecEngine`,
+  same supported scenarios and bit-identity contract as ``fast`` but with
+  whole-array kernels per step (and run batching, see
+  :mod:`repro.vecsim`).  It needs :mod:`numpy` (``pip install repro[vec]``);
+  without numpy the backend stays registered but :meth:`VecBackend.build`
+  raises :class:`BackendUnavailableError`.
 
 Backends are selected per scenario through the ``backend`` field of
 :class:`repro.experiments.spec.ScenarioSpec` (and hence from the CLI via
-``--set backend=fast`` or a ``--grid backend=reference,fast`` sweep axis).
-The registry here is intentionally tiny and open: downstream code can
-register additional executors (e.g. a process-sharded one) without touching
-the experiments subsystem.
+``--set backend=vec`` or a ``--grid backend=reference,fast,vec`` sweep
+axis).  The registry here is intentionally tiny and open: downstream code
+can register additional executors (e.g. a process-sharded one) without
+touching the experiments subsystem.
 """
 
 from __future__ import annotations
+
+import importlib.util
 
 from typing import Dict, List
 
@@ -45,6 +53,14 @@ except ImportError:  # pragma: no cover - 3.9 floor guarantees Protocol
 
 class BackendError(KeyError):
     """Raised when a backend lookup or registration fails."""
+
+    def __str__(self):  # KeyError wraps its message in quotes; undo that.
+        return self.args[0] if self.args else ""
+
+
+class BackendUnavailableError(BackendError):
+    """A registered backend cannot run because an optional dependency is
+    missing (e.g. ``backend='vec'`` without numpy installed)."""
 
 
 @runtime_checkable
@@ -90,6 +106,44 @@ class FastBackend:
         return FastEngine(graph, algorithm_factory, config)
 
 
+def _numpy_available() -> bool:
+    """Whether numpy can be imported (monkeypatchable in tests)."""
+    try:
+        return importlib.util.find_spec("numpy") is not None
+    except ImportError:
+        return False
+
+
+class VecBackend:
+    """The NumPy-vectorized engine (AOPT + oracle estimates, bit-identical).
+
+    Registered unconditionally so ``backend='vec'`` is always a *known* name;
+    building without numpy raises :class:`BackendUnavailableError` that lists
+    the backends which are actually runnable.
+    """
+
+    name = "vec"
+
+    def available(self) -> bool:
+        return _numpy_available()
+
+    def build(
+        self,
+        graph: DynamicGraph,
+        algorithm_factory: AlgorithmFactory,
+        config: SimulationConfig,
+    ):
+        if not _numpy_available():
+            raise BackendUnavailableError(
+                "the 'vec' backend needs numpy, which is not installed "
+                "(pip install 'repro[vec]'); installed backends: "
+                + ", ".join(available_backend_names())
+            )
+        from ..vecsim.engine import VecEngine
+
+        return VecEngine(graph, algorithm_factory, config)
+
+
 BACKENDS: Dict[str, EngineBackend] = {}
 
 
@@ -117,5 +171,21 @@ def backend_names() -> List[str]:
     return sorted(BACKENDS)
 
 
+def backend_available(name: str) -> bool:
+    """Whether a backend is runnable (its optional dependencies are present).
+
+    Backends may expose an ``available()`` probe; those that don't are
+    assumed always runnable.
+    """
+    backend = get_backend(name)
+    probe = getattr(backend, "available", None)
+    return bool(probe()) if callable(probe) else True
+
+
+def available_backend_names() -> List[str]:
+    return [name for name in backend_names() if backend_available(name)]
+
+
 register_backend(ReferenceBackend())
 register_backend(FastBackend())
+register_backend(VecBackend())

@@ -85,6 +85,7 @@ class CSRAdjacency:
         "indptr",
         "neighbor_index",
         "epsilon",
+        "delay",
         "level",
         "tables",
         "row_pos",
@@ -98,6 +99,7 @@ class CSRAdjacency:
         self.indptr: List[int] = [0]
         self.neighbor_index: List[int] = []
         self.epsilon: List[float] = []
+        self.delay: List[float] = []
         self.level: List[int] = []
         self.tables: List[ThresholdTable] = []
         #: Per-row mapping neighbor id -> flat position (for level patching).
@@ -123,6 +125,7 @@ class CSRAdjacency:
         indptr: List[int] = [0]
         neighbor_index: List[int] = []
         epsilon_col: List[float] = []
+        delay_col: List[float] = []
         level_col: List[int] = []
         tables: List[ThresholdTable] = []
         row_pos: List[Dict[NodeId, int]] = []
@@ -142,6 +145,7 @@ class CSRAdjacency:
                 pos[nbr] = len(neighbor_index)
                 neighbor_index.append(index[nbr])
                 epsilon_col.append(edge.epsilon)
+                delay_col.append(edge.delay)
                 level_col.append(max_level if raw >= max_level else raw)
                 tables.append(self.table_for(edge.epsilon, edge.tau))
             degree = len(neighbor_index) - row_start
@@ -152,6 +156,7 @@ class CSRAdjacency:
         self.indptr = indptr
         self.neighbor_index = neighbor_index
         self.epsilon = epsilon_col
+        self.delay = delay_col
         self.level = level_col
         self.tables = tables
         self.row_pos = row_pos

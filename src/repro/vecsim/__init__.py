@@ -1,0 +1,29 @@
+"""NumPy-vectorized batch simulation backend (``backend="vec"``).
+
+``repro.vecsim`` replaces the per-node Python loops of :mod:`repro.fastsim`
+with whole-array NumPy kernels -- elementwise clock and max-estimate
+advancement, CSR-reduced trigger evaluation, vectorized broadcast transport
+-- while keeping bit-identity with the reference engine on the AOPT + oracle
+scenario family.  A :class:`~repro.vecsim.engine.VecContext` additionally
+stacks R independent runs into one set of concatenated arrays so a sweep of
+compatible runs is advanced by a single kernel invocation per phase
+("run batching"; see :func:`~repro.vecsim.engine.build_batch` and the
+batching support in :mod:`repro.experiments.executor`).
+
+numpy is an *optional* dependency (``pip install repro[vec]``): importing
+this package without numpy raises ``ImportError``; the backend registry in
+:mod:`repro.fastsim.backend` guards for that and raises
+:class:`~repro.fastsim.backend.BackendUnavailableError` with the list of
+runnable backends instead.
+
+Modules:
+
+* :mod:`repro.vecsim.kernels` -- the NumPy kernels, each documented against
+  the scalar code it reproduces bit for bit;
+* :mod:`repro.vecsim.engine` -- :class:`~repro.vecsim.engine.VecEngine`
+  (single run) and :class:`~repro.vecsim.engine.VecContext` (run batching).
+"""
+
+from .engine import VecContext, VecEngine, build_batch
+
+__all__ = ["VecContext", "VecEngine", "build_batch"]

@@ -147,7 +147,7 @@ class TestBackendSelection:
         )
         assert "unknown backend" in capsys.readouterr().err
 
-    def test_unsupported_fast_scenario_fails_cleanly(self, tmp_path, capsys):
+    def test_unsupported_fast_scenario_falls_back_to_reference(self, tmp_path, capsys):
         assert (
             run_cli(
                 "run",
@@ -160,6 +160,27 @@ class TestBackendSelection:
                 "algorithm='MaxPropagation'",
                 "--set",
                 "backend=fast",
+                "--cache-dir",
+                str(tmp_path),
+            )
+            == 0
+        )
+        assert "fell back to reference" in capsys.readouterr().out
+
+    def test_unsupported_fast_scenario_fails_cleanly_when_strict(self, tmp_path, capsys):
+        assert (
+            run_cli(
+                "run",
+                "quickstart_line",
+                "--set",
+                "n=4",
+                "--set",
+                "sim.duration=2.0",
+                "--set",
+                "algorithm='MaxPropagation'",
+                "--set",
+                "backend=fast",
+                "--strict-backend",
                 "--cache-dir",
                 str(tmp_path),
             )

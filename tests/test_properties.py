@@ -64,6 +64,13 @@ class TestParameterProperties:
         params = make_params(rho, mu)
         if not params.is_valid():
             return
+        # Monotonicity under doubling needs sigma >= sqrt(2): doubling the
+        # weight lowers the level s(p) by at most ceil(log_sigma 2) <= 2,
+        # which the factor-2 weight increase then dominates.  For sigma
+        # arbitrarily close to 1 the (s(p)+1)*kappa_p bound genuinely dips
+        # at level boundaries, so the property does not hold there.
+        if params.sigma < math.sqrt(2.0):
+            return
         shorter = params.gradient_skew_bound(distance, bound)
         longer = params.gradient_skew_bound(2 * distance, bound)
         assert longer >= shorter >= 0

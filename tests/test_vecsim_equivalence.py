@@ -1,0 +1,249 @@
+"""Differential suite: the vec backend must match the reference engine.
+
+Mirror of ``test_fastsim_equivalence.py`` for the NumPy-vectorized backend:
+every named scenario, the staged-insertion handshake, randomized fuzz specs
+and every delay model run on both backends with **exact** payload equality.
+On top of the fastsim contract, the batched execution path must be
+bit-identical to running each spec alone.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments import execute_spec, execute_specs_batched, registry, scenario
+from repro.experiments.spec import ComponentSpec, ScenarioSpec
+
+pytest.importorskip("numpy")
+
+#: Same shortened overrides as the fastsim suite: every mechanism (churn,
+#: failover, insertion handshake, drift variety) stays in play.
+NAMED_SCENARIO_OVERRIDES = {
+    "line_scaling": {"n": 6, "sim": {"duration": 30.0}},
+    "end_to_end_insertion": {
+        "n": 6,
+        "insertion_time": 10.0,
+        "sim": {"duration": 60.0},
+    },
+    "grid_periodic_churn": {"rows": 3, "cols": 3, "duration": 60.0},
+    "random_connected_sliding_window": {"n": 8, "duration": 60.0},
+    "star_hub_failover": {"n": 8, "failover_time": 15.0, "duration": 40.0},
+    "ring_sinusoidal_drift": {"n": 8, "duration": 30.0},
+    "quickstart_line": {"n": 6, "duration": 40.0},
+}
+
+
+def assert_equivalent(spec):
+    reference = execute_spec(spec.with_backend("reference"))
+    vec = execute_spec(spec.with_backend("vec"))
+    assert reference["trace"] == vec["trace"], (
+        f"trace mismatch for {spec.label or spec.topology.name}"
+    )
+    assert reference["summary"] == vec["summary"]
+    assert reference["meta"] == vec["meta"]
+    return reference, vec
+
+
+class TestNamedScenarioEquivalence:
+    def test_every_named_scenario_is_covered(self):
+        assert sorted(NAMED_SCENARIO_OVERRIDES) == registry.SCENARIOS.names()
+
+    @pytest.mark.parametrize("name", sorted(NAMED_SCENARIO_OVERRIDES))
+    def test_backends_agree(self, name):
+        spec = scenario(name, **NAMED_SCENARIO_OVERRIDES[name])
+        reference, vec = assert_equivalent(spec)
+        assert reference["summary"]["sample_count"] > 5
+        assert reference["spec_hash"] == vec["spec_hash"]
+
+
+class TestStagedInsertionEquivalence:
+    """The full Listing 1/2 handshake on the vectorized engine."""
+
+    def insertion_spec(self, algorithm="aopt"):
+        return ScenarioSpec(
+            label=f"vecsim_insertion/{algorithm}",
+            topology=ComponentSpec("line", {"n": 5}),
+            dynamics=ComponentSpec(
+                "end_to_end_insertion", {"insertion_time": 5.0}
+            ),
+            drift=ComponentSpec("two_group", {"swap_period": 20.0}),
+            algorithm=ComponentSpec(
+                algorithm,
+                {"global_skew_bound": 10.0, "insertion_scale": 0.001},
+            ),
+            params={"rho": 0.015, "mu": 0.1},
+            edge={"epsilon": 1.0, "tau": 0.5, "delay": 2.0},
+            sim={
+                "dt": 0.1,
+                "duration": 45.0,
+                "sample_interval": 1.0,
+                "estimate_strategy": "toward_observer",
+            },
+        )
+
+    def test_staged_insertion_matches_and_completes(self):
+        from repro.core.neighbor_sets import FULLY_INSERTED
+        from repro.vecsim import VecEngine
+
+        spec = self.insertion_spec()
+        assert_equivalent(spec)
+        materialised = registry.build_scenario(spec)
+        vec = VecEngine(
+            materialised.graph,
+            materialised.algorithm_factory,
+            materialised.config,
+        )
+        vec.run(materialised.config.duration)
+        assert vec.algorithm(0).levels.level_of(4) == FULLY_INSERTED
+        assert vec.algorithm(4).levels.level_of(0) == FULLY_INSERTED
+        assert vec.algorithm(0).levels.subset_chain_holds()
+
+    def test_immediate_insertion_variant_matches(self):
+        assert_equivalent(self.insertion_spec(algorithm="immediate_insertion"))
+
+
+class TestFuzzEquivalence:
+    """Randomized specs over topologies x drifts x delays x strategies."""
+
+    TOPOLOGIES = [
+        ("line", lambda rng: {"n": rng.randint(3, 8)}),
+        ("ring", lambda rng: {"n": rng.randint(3, 8)}),
+        ("star", lambda rng: {"n": rng.randint(3, 8)}),
+        ("complete", lambda rng: {"n": rng.randint(3, 6)}),
+        ("grid", lambda rng: {"rows": rng.randint(2, 3), "cols": rng.randint(2, 3)}),
+        ("binary_tree", lambda rng: {"depth": rng.randint(2, 3)}),
+        ("random_tree", lambda rng: {"n": rng.randint(4, 8)}),
+        (
+            "random_connected",
+            lambda rng: {"n": rng.randint(4, 8), "extra_edge_probability": 0.2},
+        ),
+    ]
+    DRIFTS = [
+        None,
+        ("none", {}),
+        ("two_group", {"swap_period": 7.0}),
+        ("sinusoidal", {"period": 11.0}),
+        ("random_constant", {}),
+        ("random_walk", {"period": 3.0}),
+        ("ramp", {"reverse_period": 9.0}),
+    ]
+    DELAYS = [
+        None,
+        ("zero", {}),
+        ("fixed_fraction", {"fraction": 0.3}),
+        ("uniform", {"low_fraction": 0.1, "high_fraction": 0.9}),
+        ("directional", {}),
+    ]
+    STRATEGIES = ["zero", "uniform", "underestimate", "overestimate", "toward_observer"]
+
+    def random_spec(self, rng, case):
+        topology_name, args_fn = self.TOPOLOGIES[rng.randrange(len(self.TOPOLOGIES))]
+        topology_args = args_fn(rng)
+        drift = self.DRIFTS[rng.randrange(len(self.DRIFTS))]
+        delay = self.DELAYS[rng.randrange(len(self.DELAYS))]
+        strategy = self.STRATEGIES[rng.randrange(len(self.STRATEGIES))]
+        sim = {
+            "dt": rng.choice([0.05, 0.1]),
+            "duration": rng.choice([8.0, 12.0]),
+            "sample_interval": 1.0,
+            "estimate_strategy": strategy,
+        }
+        ramp = rng.choice([None, 0.5, 2.0])
+        return ScenarioSpec(
+            label=f"vecsim_fuzz/{case}/{topology_name}/{strategy}",
+            topology=ComponentSpec(topology_name, topology_args),
+            drift=ComponentSpec(*drift) if drift else None,
+            delay=ComponentSpec(*delay) if delay else None,
+            algorithm=ComponentSpec("aopt", {"global_skew_bound": 25.0}),
+            params={"rho": 0.015, "mu": 0.1},
+            edge={"epsilon": 1.0, "tau": 0.5, "delay": 2.0},
+            sim=sim,
+            initial_ramp_per_edge=ramp,
+        )
+
+    @pytest.mark.parametrize("case", range(6))
+    def test_random_specs_agree(self, case):
+        rng = random.Random(47110 + case)
+        spec = self.random_spec(rng, case)
+        assert_equivalent(spec)
+
+    @pytest.mark.parametrize("delay", DELAYS)
+    def test_every_delay_model_agrees(self, delay):
+        """Deterministic sweep over all delay models (incl. the default)."""
+        spec = ScenarioSpec(
+            label=f"vecsim_delay/{delay[0] if delay else 'default'}",
+            topology=ComponentSpec("line", {"n": 5}),
+            drift=ComponentSpec("two_group", {"swap_period": 5.0}),
+            delay=ComponentSpec(*delay) if delay else None,
+            algorithm=ComponentSpec("aopt", {"global_skew_bound": 25.0}),
+            params={"rho": 0.015, "mu": 0.1},
+            edge={"epsilon": 1.0, "tau": 0.5, "delay": 2.0},
+            sim={
+                "dt": 0.1,
+                "duration": 10.0,
+                "sample_interval": 1.0,
+                "estimate_strategy": "toward_observer",
+            },
+            initial_ramp_per_edge=1.0,
+        )
+        assert_equivalent(spec)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_every_estimate_strategy_agrees(self, strategy):
+        """Deterministic sweep over all oracle estimate strategies."""
+        spec = ScenarioSpec(
+            label=f"vecsim_strategy/{strategy}",
+            topology=ComponentSpec("ring", {"n": 6}),
+            drift=ComponentSpec("two_group", {"swap_period": 5.0}),
+            algorithm=ComponentSpec("aopt", {"global_skew_bound": 25.0}),
+            params={"rho": 0.015, "mu": 0.1},
+            edge={"epsilon": 1.0, "tau": 0.5, "delay": 2.0},
+            sim={
+                "dt": 0.1,
+                "duration": 10.0,
+                "sample_interval": 1.0,
+                "estimate_strategy": strategy,
+            },
+            initial_ramp_per_edge=1.0,
+        )
+        assert_equivalent(spec)
+
+
+class TestBatchedEquivalence:
+    """A heterogeneous lockstep batch must match per-run execution exactly."""
+
+    def test_mixed_topology_batch_is_bit_identical(self):
+        specs = [
+            scenario(
+                "end_to_end_insertion",
+                n=5,
+                insertion_time=5.0,
+                sim={"duration": 30.0},
+                backend="vec",
+            ),
+            scenario(
+                "star_hub_failover",
+                n=6,
+                failover_time=8.0,
+                duration=30.0,
+                backend="vec",
+            ),
+            scenario("ring_sinusoidal_drift", n=7, duration=30.0, backend="vec"),
+        ]
+        singles = [execute_spec(spec) for spec in specs]
+        batched = execute_specs_batched(specs)
+        for single, batch in zip(singles, batched):
+            assert single["trace"] == batch["trace"]
+            assert single["summary"] == batch["summary"]
+            assert single["meta"] == batch["meta"]
+
+    def test_batched_vec_matches_reference(self):
+        specs = [
+            scenario("line_scaling", n=n, sim={"duration": 15.0}, backend="vec")
+            for n in (4, 6)
+        ]
+        batched = execute_specs_batched(specs)
+        for spec, payload in zip(specs, batched):
+            reference = execute_spec(spec.with_backend("reference"))
+            assert reference["trace"] == payload["trace"]
+            assert reference["summary"] == payload["summary"]
