@@ -1,0 +1,206 @@
+"""E12: streaming-observer memory benchmark (writes BENCH_metrics.json).
+
+Demonstrates the memory claim of the streaming metrics pipeline on the vec
+backend: a ``trace: none`` run keeps no per-sample state, so its peak memory
+is (a) essentially flat in the run duration and (b) a large factor below the
+same run with a full trace.  Two modes:
+
+* default -- regenerate ``BENCH_metrics.json``: timed ``trace: none`` vec
+  grid points (compatible with the ``repro-experiments bench --compare``
+  regression gate), the n=4096 full-vs-none peak-memory comparison at 10x
+  the default bench duration, and duration-scaling evidence;
+* ``--check`` -- the CI memory smoke: assert the flat-in-duration and
+  >= 5x-below-full properties plus an absolute peak budget, exiting nonzero
+  on violation.
+
+Peaks are tracemalloc peaks of one full build + run (see
+``repro.experiments.bench``); the process RSS high-water mark is recorded
+alongside for reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import bench as bench_mod
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_metrics.json"
+
+#: 20x the default bench duration (the acceptance scenario asks for >= 10x).
+LONG_DURATION = 400.0
+SHORT_DURATION = 100.0
+DT = 0.1
+N = 4096
+
+#: Absolute peak budget for the trace-none run at n=4096, LONG_DURATION.
+PEAK_BUDGET_BYTES = 128 * 1024 * 1024
+#: trace: none peak may grow at most this much from SHORT to LONG duration.
+DURATION_SCALING_LIMIT = 2.0
+#: trace: full must need at least this multiple of the trace-none peak.
+FULL_OVER_NONE_MINIMUM = 5.0
+
+
+def measure(n: int, duration: float, trace: str) -> dict:
+    """One vec grid point: timing + tracemalloc peak."""
+    payload = bench_mod.run_backend_bench(
+        sizes=[n],
+        topologies=["line"],
+        duration=duration,
+        dt=DT,
+        backends=["vec"],
+        check_equivalence=False,
+        trace=trace,
+        measure_memory=True,
+    )
+    return payload["results"][0]
+
+
+def cmd_generate() -> int:
+    timed = bench_mod.run_backend_bench(
+        sizes=[1024, N],
+        topologies=["line"],
+        duration=LONG_DURATION,
+        dt=DT,
+        backends=["vec"],
+        check_equivalence=False,
+        trace="none",
+        measure_memory=True,
+    )
+    none_short = measure(N, SHORT_DURATION, "none")
+    full_long = measure(N, LONG_DURATION, "full")
+    none_long = next(entry for entry in timed["results"] if entry["n"] == N)
+    ratio = (
+        full_long["vec_peak_tracemalloc_bytes"]
+        / none_long["vec_peak_tracemalloc_bytes"]
+    )
+    payload = {
+        "benchmark": "streaming_metrics_memory",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "config": {
+            "backend": "vec",
+            "topology": "line",
+            "dt": DT,
+            "long_duration": LONG_DURATION,
+            "short_duration": SHORT_DURATION,
+            "peak_budget_bytes": PEAK_BUDGET_BYTES,
+        },
+        #: Timed trace-none grid points, in the backend-bench results format
+        #: so `repro-experiments bench --trace none --compare` gates on them.
+        "results": timed["results"],
+        "memory_comparison": {
+            "n": N,
+            "duration": LONG_DURATION,
+            "trace_none_peak_bytes": none_long["vec_peak_tracemalloc_bytes"],
+            "trace_full_peak_bytes": full_long["vec_peak_tracemalloc_bytes"],
+            "full_over_none_ratio": ratio,
+        },
+        "duration_scaling": {
+            "n": N,
+            "trace": "none",
+            "short_duration": SHORT_DURATION,
+            "short_peak_bytes": none_short["vec_peak_tracemalloc_bytes"],
+            "long_duration": LONG_DURATION,
+            "long_peak_bytes": none_long["vec_peak_tracemalloc_bytes"],
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    print(
+        f"n={N}: trace none {none_long['vec_peak_tracemalloc_bytes'] / 1e6:.1f} MB "
+        f"vs trace full {full_long['vec_peak_tracemalloc_bytes'] / 1e6:.1f} MB "
+        f"({ratio:.1f}x)"
+    )
+    return 0
+
+
+def cmd_check() -> int:
+    """CI memory smoke: fail when the streaming memory contract breaks."""
+    none_short = measure(N, SHORT_DURATION, "none")
+    none_long = measure(N, LONG_DURATION, "none")
+    full_long = measure(N, LONG_DURATION, "full")
+    short_peak = none_short["vec_peak_tracemalloc_bytes"]
+    long_peak = none_long["vec_peak_tracemalloc_bytes"]
+    full_peak = full_long["vec_peak_tracemalloc_bytes"]
+    print(
+        f"trace none n={N}: duration {SHORT_DURATION} -> {short_peak / 1e6:.1f} MB, "
+        f"duration {LONG_DURATION} -> {long_peak / 1e6:.1f} MB "
+        f"(rss high-water {none_long.get('peak_rss_kb')} kB)"
+    )
+    print(f"trace full n={N}, duration {LONG_DURATION}: {full_peak / 1e6:.1f} MB")
+    failures = []
+    if long_peak > PEAK_BUDGET_BYTES:
+        failures.append(
+            f"trace-none peak {long_peak / 1e6:.1f} MB exceeds the "
+            f"{PEAK_BUDGET_BYTES / 1e6:.0f} MB budget"
+        )
+    if long_peak > short_peak * DURATION_SCALING_LIMIT:
+        failures.append(
+            f"trace-none peak scales with duration: {short_peak / 1e6:.1f} MB "
+            f"-> {long_peak / 1e6:.1f} MB over a 4x longer run "
+            f"(limit {DURATION_SCALING_LIMIT}x)"
+        )
+    if full_peak < FULL_OVER_NONE_MINIMUM * long_peak:
+        failures.append(
+            f"trace-none is only {full_peak / max(long_peak, 1):.1f}x below "
+            f"trace-full (need >= {FULL_OVER_NONE_MINIMUM}x)"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            f"memory smoke OK: flat in duration, "
+            f"{full_peak / long_peak:.1f}x below trace-full"
+        )
+    return 1 if failures else 0
+
+
+def test_e12_streaming_memory():
+    """Pytest smoke (scaled down): flat-in-duration and below-full-trace.
+
+    The full acceptance bars (n = 4096, >= 5x, absolute budget) are asserted
+    by ``--check`` in CI and recorded in ``BENCH_metrics.json``; this keeps
+    the ``pytest benchmarks/`` invocation affordable.
+    """
+    import pytest
+
+    pytest.importorskip("numpy")
+    small_n = 512
+    short = bench_mod.run_backend_bench(
+        sizes=[small_n], topologies=["line"], duration=50.0, dt=DT,
+        backends=["vec"], check_equivalence=False, trace="none",
+        measure_memory=True,
+    )["results"][0]
+    long = bench_mod.run_backend_bench(
+        sizes=[small_n], topologies=["line"], duration=200.0, dt=DT,
+        backends=["vec"], check_equivalence=False, trace="none",
+        measure_memory=True,
+    )["results"][0]
+    full = bench_mod.run_backend_bench(
+        sizes=[small_n], topologies=["line"], duration=200.0, dt=DT,
+        backends=["vec"], check_equivalence=False, trace="full",
+        measure_memory=True,
+    )["results"][0]
+    short_peak = short["vec_peak_tracemalloc_bytes"]
+    long_peak = long["vec_peak_tracemalloc_bytes"]
+    full_peak = full["vec_peak_tracemalloc_bytes"]
+    assert long_peak <= short_peak * DURATION_SCALING_LIMIT, (short_peak, long_peak)
+    assert full_peak > long_peak * 2.0, (full_peak, long_peak)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert the memory contract instead of regenerating the JSON",
+    )
+    args = parser.parse_args(argv)
+    return cmd_check() if args.check else cmd_generate()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

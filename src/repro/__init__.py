@@ -15,6 +15,9 @@ The package is organised by subsystem:
   level threshold rule, immediate insertion, no synchronization);
 * :mod:`repro.analysis` -- skew, gradient, legality and stabilization
   measurements plus report formatting;
+* :mod:`repro.metrics` -- streaming run observers: summaries computed in the
+  simulation hot loop (bit-identical to post-hoc trace analysis), making
+  full traces an opt-in artifact and long runs constant-memory;
 * :mod:`repro.fastsim` -- the struct-of-arrays fast simulation backend and
   the pluggable engine-backend registry (bit-identical to the reference
   engine on the scenarios it supports);
@@ -36,7 +39,7 @@ from .sim.runner import (
     run_simulation,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AOPT",

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.parameters import Parameters
+from ..metrics import streaming
 from ..network.dynamic_graph import DynamicGraph
 from ..network.edge import NodeId
 from ..network import paths
@@ -92,17 +93,31 @@ def check_trace(
 
     ``weight`` defaults to the algorithm weight ``kappa_e`` derived from the
     edge parameters, which is the weight the bound is stated for.
+
+    Implemented as a collecting replay of the streaming counter the
+    ``gradient_bound_check`` observer runs during a simulation
+    (:class:`repro.metrics.streaming.GradientCounter`): same pair order,
+    same ``skew > bound + tolerance`` comparisons, bit-identical counts.
     """
     if weight is None:
         weight = paths.kappa_weight(graph, params)
     distances = paths.all_pairs_distances(graph, weight)
-    violations: List[GradientViolation] = []
+    pairs = [
+        (u, v, d, gradient_bound(d, global_skew_bound, params))
+        for (u, v), d in distances.items()
+        if u < v and d > 0.0
+    ]
+    counter = streaming.GradientCounter(pairs, collect=True)
     for sample in trace:
         if sample.time >= start:
-            violations.extend(
-                check_sample(sample, distances, global_skew_bound, params)
+            logical = sample.logical
+            counter.update_skews(
+                sample.time, (abs(logical[u] - logical[v]) for u, v, _, _ in pairs)
             )
-    return violations
+    return [
+        GradientViolation(time, pairs[index][0], pairs[index][1], pairs[index][2], skew, pairs[index][3])
+        for time, index, skew in counter.collected
+    ]
 
 
 def profile(
@@ -122,11 +137,12 @@ def profile(
     if weight is None:
         weight = paths.kappa_weight(graph, params)
     distances = paths.all_pairs_distances(graph, weight)
-    per_distance: Dict[float, float] = {
-        round(distance, 9): 0.0
+    keys = [
+        round(distance, 9)
         for (u, v), distance in distances.items()
         if u < v and distance > 0.0
-    }
+    ]
+    accumulator = streaming.DistanceGroupMax(keys, keep_zeros=True)
     for sample in trace:
         if sample.time < start:
             continue
@@ -134,16 +150,14 @@ def profile(
             if u >= v or distance <= 0.0:
                 continue
             skew = abs(sample.logical[u] - sample.logical[v])
-            key = round(distance, 9)
-            if skew > per_distance[key]:
-                per_distance[key] = skew
+            accumulator.update(round(distance, 9), skew)
     return [
         GradientPoint(
             distance=d,
             max_skew=s,
             bound=gradient_bound(d, global_skew_bound, params),
         )
-        for d, s in sorted(per_distance.items())
+        for d, s in accumulator.result().items()
     ]
 
 

@@ -5,6 +5,12 @@ logical clocks), the *local skew* (maximum difference across a single edge)
 and the *gradient skew* (difference between nodes as a function of the weight
 of the path connecting them).  These helpers extract all three from recorded
 traces.
+
+Since the introduction of :mod:`repro.metrics`, the trace-walking functions
+here are thin replays of the same streaming reducers the observers run
+during a simulation (:mod:`repro.metrics.streaming`): one pass, identical
+float expressions, so a post-hoc analysis of a full trace and a streaming
+observer of the same run report bit-identical numbers.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..metrics import streaming
 from ..network.dynamic_graph import DynamicGraph
 from ..network.edge import NodeId
 from ..network import paths
@@ -27,11 +34,11 @@ def global_skew(sample: TraceSample) -> float:
 
 def max_global_skew(trace: Trace, *, start: float = 0.0) -> float:
     """Largest global skew observed at or after ``start``."""
-    best = 0.0
+    tracker = streaming.PeakTracker(start=start)
     for sample in trace:
         if sample.time >= start:
-            best = max(best, sample.global_skew())
-    return best
+            tracker.update(sample.time, sample.global_skew())
+    return tracker.peak
 
 
 def local_skew(sample: TraceSample, edges: Iterable[Edge]) -> float:
@@ -45,20 +52,20 @@ def local_skew(sample: TraceSample, edges: Iterable[Edge]) -> float:
 def max_local_skew(trace: Trace, edges: Iterable[Edge], *, start: float = 0.0) -> float:
     """Largest skew across any of the given edges over the whole trace."""
     edge_list = list(edges)
-    best = 0.0
+    tracker = streaming.PeakTracker(start=start)
     for sample in trace:
         if sample.time >= start:
-            best = max(best, local_skew(sample, edge_list))
-    return best
+            tracker.update(sample.time, local_skew(sample, edge_list))
+    return tracker.peak
 
 
 def max_skew_between(trace: Trace, u: NodeId, v: NodeId, *, start: float = 0.0) -> float:
     """Largest skew between two specific nodes over the trace."""
-    best = 0.0
+    tracker = streaming.PeakTracker(start=start)
     for sample in trace:
         if sample.time >= start:
-            best = max(best, sample.skew(u, v))
-    return best
+            tracker.update(sample.time, sample.skew(u, v))
+    return tracker.peak
 
 
 def edges_of(graph: DynamicGraph) -> List[Edge]:
@@ -95,14 +102,13 @@ def max_skew_by_distance(
 ) -> Dict[float, float]:
     """Maximum over time of the per-distance maximum skew."""
     distances = paths.all_pairs_distances(graph, weight)
-    combined: Dict[float, float] = {}
+    accumulator = streaming.DistanceGroupMax()
     for sample in trace:
         if sample.time < start:
             continue
         for distance, skew in skew_by_distance(sample, distances).items():
-            if skew > combined.get(distance, 0.0):
-                combined[distance] = skew
-    return dict(sorted(combined.items()))
+            accumulator.update(distance, skew)
+    return accumulator.result()
 
 
 def skew_growth_rate(
@@ -138,7 +144,7 @@ def steady_state_window(trace: Trace, fraction: float = 0.5) -> Tuple[float, flo
         raise ValueError("the trace is empty")
     start_time = trace.first().time
     end_time = trace.final().time
-    return (end_time - fraction * (end_time - start_time), end_time)
+    return (streaming.steady_window_start(start_time, end_time, fraction), end_time)
 
 
 def max_estimate_lag(sample: TraceSample) -> float:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from ..metrics import streaming
 from ..network.edge import NodeId
 from ..sim.trace import Trace
 
@@ -41,30 +42,17 @@ def stabilization_time(
 
     ``dwell`` requires the bound to hold for at least that much time (by
     default it must hold until the end of the trace).
+
+    This is a one-pass replay of the streaming tracker the
+    ``stabilization_window`` observer runs during a simulation
+    (:class:`repro.metrics.streaming.StabilizationTracker`), so post-hoc and
+    in-run measurements are bit-identical.
     """
-    if bound < 0.0:
-        raise ValueError("bound must be non-negative")
-    samples = [s for s in trace if s.time >= event_time]
-    if not samples:
-        raise ValueError("the trace has no samples after the event time")
-    max_skew = max(s.skew(u, v) for s in samples)
-    final_skew = samples[-1].skew(u, v)
-    end_time = samples[-1].time
-    candidate: Optional[float] = None
-    for sample in samples:
-        skew = sample.skew(u, v)
-        if skew <= bound:
-            if candidate is None:
-                candidate = sample.time
-        else:
-            candidate = None
-    if candidate is None:
-        return StabilizationResult(False, None, None, max_skew, final_skew)
-    if dwell is not None and end_time - candidate < dwell:
-        return StabilizationResult(False, None, None, max_skew, final_skew)
-    return StabilizationResult(
-        True, candidate, candidate - event_time, max_skew, final_skew
-    )
+    tracker = streaming.StabilizationTracker(bound, event_time, dwell)
+    for sample in trace:
+        tracker.update(sample.time, sample.skew(u, v))
+    stabilized, at_time, elapsed, max_skew, final_skew = tracker.result()
+    return StabilizationResult(stabilized, at_time, elapsed, max_skew, final_skew)
 
 
 def global_skew_convergence_time(
@@ -75,16 +63,10 @@ def global_skew_convergence_time(
 ) -> Optional[float]:
     """First time at or after ``start`` when the global skew drops below
     ``bound`` and stays there; ``None`` when it never does."""
-    candidate: Optional[float] = None
+    detector = streaming.HoldDetector(bound, start=start)
     for sample in trace:
-        if sample.time < start:
-            continue
-        if sample.global_skew() <= bound:
-            if candidate is None:
-                candidate = sample.time
-        else:
-            candidate = None
-    return candidate
+        detector.update(sample.time, sample.global_skew())
+    return detector.candidate
 
 
 def decrease_rate(

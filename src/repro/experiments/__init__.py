@@ -39,7 +39,7 @@ from .registry import (
     build_scenario,
     scenario,
 )
-from .results import RunSummary, summarize
+from .results import RunSummary, build_run_pipeline, report_from_trace, summarize
 from .spec import ComponentSpec, ScenarioSpec, SpecError
 
 __all__ = [
@@ -59,7 +59,9 @@ __all__ = [
     "SweepStats",
     "batch_key",
     "bench_spec",
+    "build_run_pipeline",
     "build_scenario",
+    "report_from_trace",
     "compare_bench_payloads",
     "execute_spec",
     "execute_specs_batched",

@@ -24,20 +24,31 @@ import json
 import math
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.parameters import Parameters
 from ..fastsim.backend import get_backend
 from . import registry
 from .registry import BENCHMARK_EDGE, BENCHMARK_INSERTION_SCALE, BENCHMARK_PARAMS
-from .results import trace_to_payload
-from .spec import ComponentSpec, ScenarioSpec
+from .results import build_run_pipeline, trace_to_payload
+from .spec import ComponentSpec, ScenarioSpec, TRACE_MODES
 
 DEFAULT_SIZES: Tuple[int, ...] = (64, 256, 1024)
 DEFAULT_TOPOLOGIES: Tuple[str, ...] = ("line", "grid", "random")
 DEFAULT_DURATION = 20.0
 DEFAULT_DT = 0.1
 DEFAULT_OUTPUT = "BENCH_fastsim.json"
+
+#: Observers used by ``--trace none`` bench runs.  Deliberately excludes
+#: ``gradient_bound_check`` (and the other all-pairs observers): those are
+#: O(n^2) per run by nature and would dominate the throughput measurement at
+#: n >> 10^3; the scalar observers here are the per-step streaming workload.
+BENCH_OBSERVERS: Tuple[str, ...] = (
+    "global_skew",
+    "local_skew",
+    "convergence_time",
+    "mode_counts",
+)
 
 
 class BenchError(ValueError):
@@ -127,12 +138,15 @@ def validate_bench_config(
     dt: float,
     repeats: int,
     backends: Sequence[str],
+    trace: str = "full",
 ) -> None:
     """Fail fast on a bad benchmark grid (cheap: no simulation is run)."""
     if repeats < 1:
         raise BenchError(f"repeats must be >= 1, got {repeats}")
     if len(backends) < 1:
         raise BenchError("need at least one backend to time")
+    if trace not in TRACE_MODES:
+        raise BenchError(f"trace must be one of {TRACE_MODES}, got {trace!r}")
     for name in backends:
         get_backend(name)
     for kind in topologies:
@@ -158,6 +172,42 @@ def _warm_backend(name: str) -> None:
     engine.run(scenario.config.duration)
 
 
+def _measure_peak_memory(run_once) -> int:
+    """Peak tracemalloc bytes of one untimed ``run_once()`` invocation.
+
+    Measured in a dedicated run so the tracemalloc overhead (roughly 2x on
+    allocation-heavy code) never pollutes the timed measurements that the
+    ``--compare`` regression gate checks.
+    """
+    import gc
+    import tracemalloc
+
+    gc.collect()
+    tracemalloc.start()
+    try:
+        run_once()
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    return int(peak)
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Process high-water RSS in kB (monotone over the process lifetime).
+
+    ``ru_maxrss`` is kilobytes on Linux but *bytes* on macOS; normalise so
+    trajectories generated on either platform are comparable.
+    """
+    try:
+        import resource
+        import sys
+
+        peak = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+        return peak // 1024 if sys.platform == "darwin" else peak
+    except (ImportError, ValueError):  # pragma: no cover - non-POSIX
+        return None
+
+
 def run_backend_bench(
     *,
     sizes: Sequence[int] = DEFAULT_SIZES,
@@ -167,6 +217,8 @@ def run_backend_bench(
     repeats: int = 1,
     backends: Sequence[str] = ("reference", "fast"),
     check_equivalence: bool = True,
+    trace: str = "full",
+    measure_memory: bool = False,
 ) -> Dict[str, Any]:
     """Time every backend on every grid point; return the results payload.
 
@@ -175,17 +227,28 @@ def run_backend_bench(
     warm-up run per backend.  When ``check_equivalence`` is set the traces
     of all backends are compared for exact equality and the verdict
     recorded per grid point.
+
+    ``trace="none"`` runs the streaming observer pipeline instead of
+    recording a trace (constant memory in the duration); equivalence is then
+    checked on the observer *reports*.  ``measure_memory=True`` adds one
+    untimed run per (backend, grid point) under :mod:`tracemalloc` and
+    records its peak as ``{backend}_peak_tracemalloc_bytes`` (plus the
+    process-wide ``peak_rss_kb`` high-water mark).
     """
     if repeats < 1:
         raise BenchError(f"repeats must be >= 1, got {repeats}")
     if len(backends) < 1:
         raise BenchError("need at least one backend to time")
+    if trace not in TRACE_MODES:
+        raise BenchError(f"trace must be one of {TRACE_MODES}, got {trace!r}")
     for name in backends:
         _warm_backend(name)
     results: List[Dict[str, Any]] = []
     for kind in topologies:
         for n in sizes:
-            base = bench_spec(kind, n, duration=duration, dt=dt)
+            base = bench_spec(kind, n, duration=duration, dt=dt).with_trace(trace)
+            if trace == "none":
+                base = base.with_observers(*BENCH_OBSERVERS)
             scenario = registry.build_scenario(base)
             steps = int(round(duration / dt))
             entry: Dict[str, Any] = {
@@ -194,25 +257,52 @@ def run_backend_bench(
                 "duration": duration,
                 "dt": dt,
                 "steps": steps,
+                "trace_mode": trace,
                 "spec_hash": base.content_hash(),
             }
             payloads: Dict[str, Any] = {}
+
+            def run_once(backend):
+                """One full build + run; returns (trace, pipeline or None)."""
+                engine = backend.build(
+                    scenario.graph, scenario.algorithm_factory, scenario.config
+                )
+                pipeline = None
+                if trace == "none":
+                    pipeline = build_run_pipeline(
+                        base,
+                        graph=scenario.graph,
+                        base_edges=scenario.base_edges,
+                        config=scenario.config,
+                        meta=scenario.meta,
+                        global_skew_bound=scenario.global_skew_bound,
+                    )
+                    engine.configure_recording(pipeline, record_trace=False)
+                produced = engine.run(scenario.config.duration)
+                return produced, pipeline
+
             for name in backends:
                 backend = get_backend(name)
                 best = math.inf
-                trace = None
+                produced = pipeline = None
                 for _ in range(repeats):
                     started = time.perf_counter()
-                    engine = backend.build(
-                        scenario.graph,
-                        scenario.algorithm_factory,
-                        scenario.config,
-                    )
-                    trace = engine.run(scenario.config.duration)
+                    produced, pipeline = run_once(backend)
                     best = min(best, time.perf_counter() - started)
                 entry[f"{name}_seconds"] = best
                 if check_equivalence:
-                    payloads[name] = trace_to_payload(trace)
+                    # Payload conversion happens outside the timed window,
+                    # exactly like the pre-streaming benchmark did.
+                    if pipeline is not None:
+                        payloads[name] = pipeline.finalize().to_payload()
+                    else:
+                        payloads[name] = trace_to_payload(produced)
+                if measure_memory:
+                    entry[f"{name}_peak_tracemalloc_bytes"] = _measure_peak_memory(
+                        lambda backend=backend: run_once(backend)
+                    )
+            if measure_memory:
+                entry["peak_rss_kb"] = _peak_rss_kb()
             node_steps = steps * scenario.graph.node_count
             entry["node_steps"] = node_steps
             for name in backends:
@@ -231,9 +321,9 @@ def run_backend_bench(
                 )
             if check_equivalence and len(payloads) > 1:
                 first = next(iter(payloads.values()))
-                entry["traces_identical"] = all(
-                    payload == first for payload in payloads.values()
-                )
+                identical = all(payload == first for payload in payloads.values())
+                key = "traces_identical" if trace == "full" else "reports_identical"
+                entry[key] = identical
             results.append(entry)
     return {
         "benchmark": "backend_speed",
@@ -245,6 +335,7 @@ def run_backend_bench(
             "duration": duration,
             "dt": dt,
             "repeats": repeats,
+            "trace": trace,
         },
         "results": results,
     }

@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from ..analysis import report
 from ..fastsim.backend import BackendError, backend_available, backend_names
 from ..fastsim.engine import UnsupportedScenarioError
+from ..metrics import MetricsError
 from . import bench as bench_mod
 from . import executor, registry
 
@@ -111,10 +112,10 @@ def _summary_table(title: str, runs: Sequence[executor.ExperimentRun]) -> report
             summary.label or run.spec.topology.name,
             run.spec.short_hash(),
             summary.node_count,
-            summary.initial_global_skew,
-            summary.max_global_skew,
-            summary.final_global_skew,
-            summary.max_local_skew,
+            _fmt(summary.initial_global_skew),
+            _fmt(summary.max_global_skew),
+            _fmt(summary.final_global_skew),
+            _fmt(summary.max_local_skew),
             _fmt(summary.stabilization_time),
             _fmt(summary.gradient_violations),
             _fmt(run.from_cache),
@@ -186,6 +187,16 @@ def cmd_list(args: argparse.Namespace) -> int:
         else:
             backends.append(f"{name} [unavailable: pip install 'repro[{name}]']")
     print(f"backends:   {', '.join(backends)} (--set backend=...)")
+    from ..metrics import DEFAULT_OBSERVERS, observer_names
+
+    tagged = [
+        f"{name}*" if name in DEFAULT_OBSERVERS else name
+        for name in observer_names()
+    ]
+    print(
+        f"observers:  {', '.join(tagged)} "
+        "(* = default set; --observers a,b,... and --trace none)"
+    )
     return 0
 
 
@@ -205,12 +216,31 @@ def _check_user_input(fn, *fn_args, **fn_kwargs):
 
 def _validate_specs(specs) -> None:
     """Materialise each spec once (no simulation) so bad arguments fail fast."""
+    from ..metrics import OBSERVERS, observer_names
+
     for spec in specs:
         _check_user_input(registry.build_scenario, spec)
+        for name in spec.observers:
+            if name not in OBSERVERS:
+                raise CliError(
+                    f"unknown observer {name!r}; known: "
+                    + ", ".join(observer_names())
+                )
+
+
+def _apply_observation_flags(args: argparse.Namespace, overrides: Dict[str, Any]) -> None:
+    """Fold ``--observers`` / ``--trace`` into the pseudo-override mapping."""
+    if getattr(args, "observers", None):
+        overrides["observers"] = tuple(
+            name.strip() for name in args.observers.split(",") if name.strip()
+        )
+    if getattr(args, "trace", None):
+        overrides["trace"] = args.trace
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     overrides = _parse_overrides(args.set)
+    _apply_observation_flags(args, overrides)
     spec = _check_user_input(registry.scenario, args.scenario, **overrides)
     _validate_specs([spec])
     runner = _make_runner(args)
@@ -221,6 +251,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     overrides = _parse_overrides(args.set)
+    _apply_observation_flags(args, overrides)
     grid = _parse_grid(args.grid)
     if not grid:
         raise argparse.ArgumentTypeError("sweep needs at least one --grid axis")
@@ -298,6 +329,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         dt=args.dt,
         repeats=args.repeats,
         backends=backends,
+        trace=args.trace,
     )
     baseline = _load_compare_baseline(args)
     payload = bench_mod.run_backend_bench(
@@ -308,6 +340,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         backends=backends,
         check_equivalence=not args.no_check,
+        trace=args.trace,
+        measure_memory=args.memory,
     )
     if args.output:
         path = bench_mod.write_bench_json(payload, args.output)
@@ -326,6 +360,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if "reference" in backends and "vec" in backends:
         speedup_keys.append(("vec/ref", "vec_speedup_over_reference"))
     columns += [label for label, _ in speedup_keys]
+    if args.memory:
+        columns += [f"{name} peak [MB]" for name in backends]
     if not args.no_check:
         columns.append("identical")
     table = report.Table("backend speed: " + " vs ".join(backends), columns)
@@ -333,8 +369,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
         row = [entry["topology"], entry["n"], entry["steps"]]
         row += [entry[f"{name}_seconds"] for name in backends]
         row += [entry[key] for _, key in speedup_keys]
+        if args.memory:
+            row += [
+                round(entry[f"{name}_peak_tracemalloc_bytes"] / 1e6, 1)
+                for name in backends
+            ]
         if not args.no_check:
-            row.append(_fmt(entry.get("traces_identical")))
+            row.append(
+                _fmt(entry.get("traces_identical", entry.get("reports_identical")))
+            )
         table.add_row(*row)
     print("\n" + table.render() + "\n")
     return status
@@ -381,6 +424,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fail instead of falling back to the reference backend on "
         "scenarios the selected backend cannot run",
+    )
+    common.add_argument(
+        "--observers",
+        default=None,
+        metavar="NAME,NAME,...",
+        help="streaming observers to run (default: the standard RunSummary "
+        "set; see `list` for names)",
+    )
+    common.add_argument(
+        "--trace",
+        choices=["full", "none"],
+        default=None,
+        help="keep the full per-sample trace (default) or only the "
+        "streaming observer report (constant memory in the duration)",
     )
     common.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
@@ -443,6 +500,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the cross-backend trace equality check",
     )
     bench_parser.add_argument(
+        "--trace",
+        choices=["full", "none"],
+        default="full",
+        help="record a full trace (default) or run the streaming observer "
+        "pipeline only (constant memory; equality is checked on reports)",
+    )
+    bench_parser.add_argument(
+        "--memory",
+        action="store_true",
+        help="add one untimed run per point under tracemalloc and report "
+        "its peak memory (plus the process RSS high-water mark)",
+    )
+    bench_parser.add_argument(
         "--compare",
         default=None,
         metavar="BASELINE.json",
@@ -478,6 +548,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         argparse.ArgumentTypeError,
         BackendError,
         UnsupportedScenarioError,
+        MetricsError,
         CliError,
     ) as exc:
         print(f"error: {exc}", file=sys.stderr)

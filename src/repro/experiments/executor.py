@@ -17,6 +17,7 @@ The executor turns specs into runs:
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 import logging
@@ -30,8 +31,15 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from .. import __version__ as _library_version
 from ..fastsim.backend import backend_available, get_backend
 from ..fastsim.engine import UnsupportedScenarioError
+from ..metrics import ObserverReport
 from . import registry
-from .results import RunSummary, summarize, trace_from_payload, trace_to_payload
+from .results import (
+    RunSummary,
+    build_run_pipeline,
+    summarize,
+    trace_from_payload,
+    trace_to_payload,
+)
 from .spec import ScenarioSpec
 
 logger = logging.getLogger(__name__)
@@ -40,8 +48,11 @@ logger = logging.getLogger(__name__)
 #: treated as cache misses and overwritten.  Version 2 added the engine
 #: backend to the cache key and payload (reference and fast results of the
 #: same scenario are distinct cache entries that may never collide);
-#: version 3 added ``trace_stride`` to the key and the serialised spec.
-CACHE_FORMAT_VERSION = 3
+#: version 3 added ``trace_stride`` to the key and the serialised spec;
+#: version 4 added the streaming ``observers`` report to the payload and
+#: made the trace optional (``trace: none`` runs cache ``"trace": null``).
+#: Stale version-3 entries are simply re-run and overwritten.
+CACHE_FORMAT_VERSION = 4
 
 #: Key under which a worker reports an unsupported-backend failure instead
 #: of raising (so one spec cannot poison a whole pool map).
@@ -98,16 +109,31 @@ def _meta_from_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     return meta
 
 
+def _attach_pipeline(spec: ScenarioSpec, scenario: "registry.MaterialisedScenario", engine):
+    """Build the run's observer pipeline and hook it into the engine."""
+    pipeline = build_run_pipeline(
+        spec,
+        graph=scenario.graph,
+        base_edges=scenario.base_edges,
+        config=scenario.config,
+        meta=scenario.meta,
+        global_skew_bound=scenario.global_skew_bound,
+    )
+    engine.configure_recording(pipeline, record_trace=spec.trace == "full")
+    return pipeline
+
+
 def _payload_for(
     spec: ScenarioSpec,
     scenario: "registry.MaterialisedScenario",
     engine,
     trace,
+    report: ObserverReport,
     wall_time: float,
 ) -> Dict[str, Any]:
     summary = summarize(
         spec=spec,
-        trace=trace,
+        report=report,
         graph=scenario.graph,
         base_edges=scenario.base_edges,
         config=scenario.config,
@@ -123,7 +149,8 @@ def _payload_for(
         "backend": spec.backend,
         "summary": summary.to_dict(),
         "meta": _meta_to_payload(scenario.meta),
-        "trace": trace_to_payload(trace),
+        "observers": report.to_payload(),
+        "trace": trace_to_payload(trace) if spec.trace == "full" else None,
         "wall_time": wall_time,
     }
 
@@ -133,15 +160,21 @@ def execute_spec(spec: ScenarioSpec) -> Dict[str, Any]:
 
     The spec's ``backend`` field picks the engine (reference, fast or vec);
     every backend receives the identical materialised scenario because seeds
-    derive from the backend-independent content hash.
+    derive from the backend-independent content hash.  Summaries come from
+    the streaming observer pipeline, which every engine feeds during the
+    run; with ``trace: none`` the run keeps no samples at all.
     """
     started = time.perf_counter()
     scenario = registry.build_scenario(spec)
     engine = get_backend(spec.backend).build(
         scenario.graph, scenario.algorithm_factory, scenario.config
     )
+    pipeline = _attach_pipeline(spec, scenario, engine)
     trace = engine.run(scenario.config.duration)
-    return _payload_for(spec, scenario, engine, trace, time.perf_counter() - started)
+    report = pipeline.finalize()
+    return _payload_for(
+        spec, scenario, engine, trace, report, time.perf_counter() - started
+    )
 
 
 def batch_key(spec: ScenarioSpec) -> Optional[Tuple]:
@@ -178,11 +211,17 @@ def execute_specs_batched(specs: Sequence[ScenarioSpec]) -> List[Dict[str, Any]]
     context = build_batch(
         [(sc.graph, sc.algorithm_factory, sc.config) for sc in scenarios]
     )
+    pipelines = [
+        _attach_pipeline(spec, sc, engine)
+        for spec, sc, engine in zip(specs, scenarios, context.engines)
+    ]
     context.run_until(scenarios[0].config.duration)
     wall_time = (time.perf_counter() - started) / max(len(specs), 1)
     return [
-        _payload_for(spec, sc, engine, engine.trace, wall_time)
-        for spec, sc, engine in zip(specs, scenarios, context.engines)
+        _payload_for(spec, sc, engine, engine.trace, pipeline.finalize(), wall_time)
+        for spec, sc, engine, pipeline in zip(
+            specs, scenarios, context.engines, pipelines
+        )
     ]
 
 
@@ -204,12 +243,18 @@ def _pool_worker(spec_payload: Dict[str, Any]) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 @dataclass
 class ExperimentRun:
-    """One executed (or cache-served) spec: summary, trace and metadata."""
+    """One executed (or cache-served) spec: summary, report, trace, metadata.
+
+    ``trace`` is ``None`` for ``trace: none`` runs -- the streaming
+    ``report`` (an :class:`~repro.metrics.ObserverReport`) then carries
+    everything the summary was computed from.
+    """
 
     spec: ScenarioSpec
     summary: RunSummary
     trace: Any
     meta: Dict[str, Any]
+    report: Optional[ObserverReport] = None
     from_cache: bool = False
     wall_time: float = 0.0
     #: Set when the spec's backend could not run this scenario and the
@@ -258,8 +303,9 @@ def _run_from_payload(
     return ExperimentRun(
         spec=spec,
         summary=RunSummary.from_dict(payload["summary"]),
-        trace=trace_from_payload(payload["trace"]),
+        trace=trace_from_payload(payload.get("trace")),
         meta=_meta_from_payload(payload.get("meta", {})),
+        report=ObserverReport.from_payload(payload.get("observers")),
         from_cache=from_cache,
         wall_time=payload.get("wall_time", 0.0),
         requested_backend=requested_backend,
@@ -307,12 +353,23 @@ class ExperimentRunner:
         # The reference backend keeps the historical ``{hash}.json`` name so
         # pre-backend cache entries are found, recognised as stale via the
         # format version check, and overwritten instead of orphaned.
-        # Strided traces likewise get their own ``.s{k}`` suffix.
+        # Strided traces likewise get their own ``.s{k}`` suffix, traceless
+        # runs a ``.notrace`` suffix, and non-default observer selections an
+        # ``.obs-{digest}`` suffix -- all observation details are excluded
+        # from the content hash (same scenario, same seeds) but their cached
+        # results contain different payloads and must never collide.
         name = spec.content_hash()
         if spec.backend != "reference":
             name += f".{spec.backend}"
         if spec.trace_stride != 1:
             name += f".s{spec.trace_stride}"
+        if spec.trace != "full":
+            name += ".notrace"
+        if spec.observers:
+            digest = hashlib.sha256(
+                ",".join(spec.observers).encode("utf-8")
+            ).hexdigest()[:12]
+            name += f".obs-{digest}"
         return self.cache_dir / f"{name}.json"
 
     def load_cached(self, spec: ScenarioSpec) -> Optional[Dict[str, Any]]:
@@ -333,6 +390,10 @@ class ExperimentRunner:
         if payload.get("backend", "reference") != spec.backend:
             return None
         if payload.get("spec", {}).get("trace_stride", 1) != spec.trace_stride:
+            return None
+        if payload.get("spec", {}).get("trace", "full") != spec.trace:
+            return None
+        if tuple(payload.get("spec", {}).get("observers", ())) != spec.observers:
             return None
         return payload
 

@@ -590,20 +590,28 @@ def build_scenario(spec: ScenarioSpec) -> MaterialisedScenario:
 def scenario(name: str, **overrides: Any) -> ScenarioSpec:
     """Build the named scenario spec with builder-level overrides.
 
-    ``backend`` and ``trace_stride`` are accepted as pseudo-overrides for
-    every named scenario: they select execution details (engine backend,
-    trace decimation) without the individual builders having to know about
-    execution concerns, so the CLI can say ``--set backend=vec``, sweep
-    ``--grid backend=reference,fast,vec`` or thin long traces with
-    ``--set trace_stride=10``.
+    ``backend``, ``trace_stride``, ``trace`` and ``observers`` are accepted
+    as pseudo-overrides for every named scenario: they select execution and
+    observation details (engine backend, trace decimation, trace keeping,
+    streaming observer selection) without the individual builders having to
+    know about execution concerns, so the CLI can say ``--set backend=vec``,
+    sweep ``--grid backend=reference,fast,vec``, thin long traces with
+    ``--set trace_stride=10``, or run memory-bounded with
+    ``--set trace=none``.
     """
     backend = overrides.pop("backend", None)
     trace_stride = overrides.pop("trace_stride", None)
+    trace = overrides.pop("trace", None)
+    observers = overrides.pop("observers", None)
     spec = SCENARIOS.get(name)(**overrides)
     if backend is not None:
         spec = replace(spec, backend=str(backend))
     if trace_stride is not None:
         spec = replace(spec, trace_stride=trace_stride)
+    if trace is not None:
+        spec = replace(spec, trace=str(trace))
+    if observers is not None:
+        spec = replace(spec, observers=observers)
     return spec
 
 

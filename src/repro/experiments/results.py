@@ -1,12 +1,19 @@
-"""Compact, picklable run summaries extracted from traces.
+"""Compact, picklable run summaries extracted from streaming observers.
 
 A :class:`RunSummary` carries every scalar the benchmark suite reports --
 global/local skew statistics, convergence and stabilization times, violation
 counts -- without holding on to the :class:`~repro.sim.engine.Engine` (whose
 per-node algorithm objects, estimate layers and message queues dominate the
-memory of a finished run).  Workers in the sweep executor therefore return a
-``RunSummary`` plus the (plain-data) :class:`~repro.sim.trace.Trace`, both of
-which serialise to JSON for the on-disk cache.
+memory of a finished run).
+
+Since the introduction of :mod:`repro.metrics`, every one of those scalars
+is computed *during* the run by the streaming observer pipeline;
+:func:`summarize` merely reads the finished
+:class:`~repro.metrics.pipeline.ObserverReport`.  Callers that only have a
+materialized trace (tests, notebooks, old cache tooling) can still pass
+``trace=``: the same observers are replayed over the trace, producing a
+bit-identical report -- the differential suite asserts streaming == replay
+== the pre-refactor post-hoc computation on every backend.
 """
 
 from __future__ import annotations
@@ -15,8 +22,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..analysis import gradient, skew, stabilization
-from ..sim.runner import minimum_kappa
+from ..metrics import DEFAULT_OBSERVERS, ObserverReport, build_pipeline
 from ..sim.trace import Trace, TraceSample
 
 Edge = Tuple[int, int]
@@ -32,17 +38,19 @@ class RunSummary:
     base_edge_count: int
     sample_count: int
     duration: float
-    # Global skew over the whole trace.
-    initial_global_skew: float
-    max_global_skew: float
-    final_global_skew: float
+    # Global skew over the whole run.  Skew fields are ``None`` -- "not
+    # measured" -- when the spec's observer selection excluded the backing
+    # observer; with the default selection they are always floats.
+    initial_global_skew: Optional[float]
+    max_global_skew: Optional[float]
+    final_global_skew: Optional[float]
     #: First time the global skew halves its initial value and stays halved.
     halving_time: Optional[float]
     # Local skew over the edges present at time zero.
-    max_local_skew: float
+    max_local_skew: Optional[float]
     # Steady state: the last quarter of the run.
-    steady_global_skew: float
-    steady_local_skew: float
+    steady_global_skew: Optional[float]
+    steady_local_skew: Optional[float]
     #: The bound G~ the algorithm was configured with (None for baselines).
     global_skew_bound: Optional[float]
     #: Gradient-bound violations (None when churn makes distances ambiguous).
@@ -69,51 +77,100 @@ class RunSummary:
         return cls(**{k: v for k, v in payload.items() if k in known})
 
 
+def build_run_pipeline(spec, *, graph, base_edges, config, meta, global_skew_bound):
+    """The streaming pipeline for one materialised scenario.
+
+    Observer selection comes from ``spec.observers`` (empty = the standard
+    :data:`~repro.metrics.DEFAULT_OBSERVERS` set backing
+    :class:`RunSummary`); the final sample time is predicted from the
+    simulation config so steady-window observers stream in constant memory.
+    """
+    return build_pipeline(
+        spec.observers or DEFAULT_OBSERVERS,
+        graph=graph,
+        base_edges=base_edges,
+        params=config.params,
+        meta=meta,
+        global_skew_bound=global_skew_bound,
+        has_dynamics=spec.dynamics is not None,
+        duration=config.duration,
+        dt=config.dt,
+    )
+
+
+def report_from_trace(
+    spec, trace: Trace, *, graph, base_edges, config, meta, global_skew_bound
+) -> ObserverReport:
+    """Replay a materialized trace through the run's observer pipeline."""
+    pipeline = build_pipeline(
+        spec.observers or DEFAULT_OBSERVERS,
+        graph=graph,
+        base_edges=base_edges,
+        params=config.params,
+        meta=meta,
+        global_skew_bound=global_skew_bound,
+        has_dynamics=spec.dynamics is not None,
+    )
+    return pipeline.replay(trace)
+
+
 def summarize(
     *,
     spec,
-    trace: Trace,
     graph,
     base_edges: List[Edge],
     config,
     meta: Dict[str, Any],
     global_skew_bound: Optional[float],
+    report: Optional[ObserverReport] = None,
+    trace: Optional[Trace] = None,
     engine=None,
 ) -> RunSummary:
     """Extract a :class:`RunSummary` from a finished run.
 
-    ``engine`` is optional: when available (always, inside a worker) the
-    per-node invariants that need live algorithm state are checked too.
+    Exactly one of ``report`` (the streaming pipeline's output -- the normal
+    executor path) or ``trace`` (replayed through the same observers) must
+    be provided.  ``engine`` is optional: when available (always, inside a
+    worker) the per-node invariants that need live algorithm state are
+    checked too.
     """
-    initial = trace.first().global_skew() if len(trace) else 0.0
-    final = trace.final().global_skew() if len(trace) else 0.0
-    halving_time = None
-    if initial > 0.0:
-        halving_time = stabilization.global_skew_convergence_time(
-            trace, bound=initial / 2.0
+    if report is None:
+        if trace is None:
+            raise ValueError("summarize needs an ObserverReport or a trace")
+        report = report_from_trace(
+            spec,
+            trace,
+            graph=graph,
+            base_edges=base_edges,
+            config=config,
+            meta=meta,
+            global_skew_bound=global_skew_bound,
         )
-    steady_start, steady_end = (0.0, 0.0)
-    if len(trace):
-        steady_start, steady_end = skew.steady_state_window(trace, fraction=0.25)
+
+    samples = report.sample_count
+    # A missing observer payload means "not measured" (the spec selected a
+    # subset of observers): the corresponding fields become None, never a
+    # fabricated 0.0.
+    global_payload = report.get("global_skew") or {}
+    local_payload = report.get("local_skew") or {}
+    convergence_payload = report.get("convergence_time") or {}
+    modes_payload = report.get("mode_counts") or {}
+    stabilization_payload = report.get("stabilization_window") or {}
+    gradient_payload = report.get("gradient_bound_check") or {}
 
     gradient_violations: Optional[int] = None
-    if spec.dynamics is None and global_skew_bound is not None and len(trace):
-        gradient_violations = len(
-            gradient.check_trace(trace, graph, global_skew_bound, config.params)
-        )
+    if gradient_payload.get("applicable") and samples:
+        gradient_violations = gradient_payload.get("violations")
 
     event_time = meta.get("insertion_time")
-    skew_at_event = stabilized = stabilization_time = post_event = None
-    if event_time is not None and "new_edge" in meta and len(trace):
-        u, v = meta["new_edge"]
-        criterion = 2.0 * minimum_kappa(graph, config.params)
-        measurement = stabilization.stabilization_time(
-            trace, u, v, bound=criterion, event_time=event_time
-        )
-        skew_at_event = trace.sample_at(event_time).skew(u, v)
-        stabilized = measurement.stabilized
-        stabilization_time = measurement.elapsed_since_event
-        post_event = skew.max_local_skew(trace, base_edges, start=event_time)
+    skew_at_event = stabilized = stabilization_time = None
+    if stabilization_payload.get("applicable") and stabilization_payload.get("observed"):
+        skew_at_event = stabilization_payload.get("skew_at_event")
+        stabilized = stabilization_payload.get("stabilized")
+        stabilization_time = stabilization_payload.get("elapsed_since_event")
+    post_event = None
+    if event_time is not None and "new_edge" in meta and samples:
+        post_event = local_payload.get("post_event_max")
 
     broken_chains: Optional[int] = None
     if engine is not None:
@@ -131,15 +188,15 @@ def summarize(
         spec_hash=spec.content_hash(),
         node_count=graph.node_count,
         base_edge_count=len(base_edges),
-        sample_count=len(trace),
+        sample_count=samples,
         duration=config.duration,
-        initial_global_skew=initial,
-        max_global_skew=trace.max_global_skew(),
-        final_global_skew=final,
-        halving_time=halving_time,
-        max_local_skew=skew.max_local_skew(trace, base_edges),
-        steady_global_skew=skew.max_global_skew(trace, start=steady_start),
-        steady_local_skew=skew.max_local_skew(trace, base_edges, start=steady_start),
+        initial_global_skew=global_payload.get("initial"),
+        max_global_skew=global_payload.get("max"),
+        final_global_skew=global_payload.get("final"),
+        halving_time=convergence_payload.get("halving_time"),
+        max_local_skew=local_payload.get("max"),
+        steady_global_skew=global_payload.get("steady_max"),
+        steady_local_skew=local_payload.get("steady_max"),
         global_skew_bound=global_skew_bound,
         gradient_violations=gradient_violations,
         broken_level_chains=broken_chains,
@@ -148,15 +205,20 @@ def summarize(
         stabilized=stabilized,
         stabilization_time=stabilization_time,
         post_event_local_skew=post_event,
-        mode_counts=trace.mode_counts(),
+        mode_counts=dict(modes_payload.get("counts", {})),
     )
 
 
 # ----------------------------------------------------------------------
 # Trace (de)serialisation for the on-disk cache
 # ----------------------------------------------------------------------
-def trace_to_payload(trace: Trace) -> Dict[str, Any]:
-    """Plain-JSON representation of a trace (node ids become strings)."""
+def trace_to_payload(trace: Optional[Trace]) -> Optional[Dict[str, Any]]:
+    """Plain-JSON representation of a trace (node ids become strings).
+
+    ``None`` (a ``trace: none`` run) passes through unchanged.
+    """
+    if trace is None:
+        return None
     return {
         "sample_interval": trace.sample_interval,
         "samples": [
@@ -176,8 +238,10 @@ def trace_to_payload(trace: Trace) -> Dict[str, Any]:
     }
 
 
-def trace_from_payload(payload: Dict[str, Any]) -> Trace:
-    """Rebuild a trace from :func:`trace_to_payload` output."""
+def trace_from_payload(payload: Optional[Dict[str, Any]]) -> Optional[Trace]:
+    """Rebuild a trace from :func:`trace_to_payload` output (None-safe)."""
+    if payload is None:
+        return None
     trace = Trace(sample_interval=payload.get("sample_interval", 1.0))
     for entry in payload.get("samples", []):
         trace.record(

@@ -24,7 +24,10 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: Allowed values of :attr:`ScenarioSpec.trace`.
+TRACE_MODES = ("full", "none")
 
 #: Bumped whenever the canonical serialisation changes shape, so stale cache
 #: entries from older layouts can never be mistaken for current results.
@@ -113,6 +116,22 @@ class ScenarioSpec:
     #: identical scenario (summaries over the strided trace agree across
     #: backends).
     trace_stride: int = 1
+    #: Whether the run keeps a full trace (``"full"``, the default) or only
+    #: the streaming observer report (``"none"``: constant memory in the
+    #: duration, the trace is dropped).  Like ``backend``/``trace_stride``
+    #: this is an observation detail: serialised and cache-keyed, excluded
+    #: from :meth:`content_hash`, and summaries are bit-identical either way.
+    trace: str = "full"
+    #: Streaming observers to run (names from :data:`repro.metrics.OBSERVERS`).
+    #: Empty means the standard set backing :class:`RunSummary`
+    #: (:data:`repro.metrics.DEFAULT_OBSERVERS`).  Like the fields above this
+    #: is an observation detail: excluded from :meth:`content_hash` (so a
+    #: custom selection still simulates the identical scenario with the
+    #: identical seeds and stays comparable with default runs) but part of
+    #: the result-cache key -- a cached result contains exactly the payloads
+    #: of the observers that ran (see
+    #: :meth:`repro.experiments.executor.ExperimentRunner.cache_path`).
+    observers: Tuple[str, ...] = ()
     params: Dict[str, Any] = field(default_factory=dict)
     edge: Dict[str, Any] = field(default_factory=dict)
     sim: Dict[str, Any] = field(default_factory=dict)
@@ -139,6 +158,21 @@ class ScenarioSpec:
             raise SpecError(f"trace_stride must be an int, got {self.trace_stride!r}")
         if self.trace_stride < 1:
             raise SpecError(f"trace_stride must be >= 1, got {self.trace_stride}")
+        if self.trace not in TRACE_MODES:
+            raise SpecError(
+                f"trace must be one of {TRACE_MODES}, got {self.trace!r}"
+            )
+        observers = self.observers
+        if isinstance(observers, str):
+            observers = tuple(
+                name.strip() for name in observers.split(",") if name.strip()
+            )
+        object.__setattr__(self, "observers", tuple(observers))
+        for name in self.observers:
+            if not isinstance(name, str) or not name:
+                raise SpecError(
+                    f"observer names must be non-empty strings, got {name!r}"
+                )
         for forbidden in ("drift", "delay", "initial_logical", "params"):
             if forbidden in self.sim:
                 raise SpecError(
@@ -159,6 +193,8 @@ class ScenarioSpec:
             "algorithm": self.algorithm.to_dict(),
             "backend": self.backend,
             "trace_stride": self.trace_stride,
+            "trace": self.trace,
+            "observers": list(self.observers),
             "params": dict(self.params),
             "edge": dict(self.edge),
             "sim": dict(self.sim),
@@ -185,6 +221,8 @@ class ScenarioSpec:
             algorithm=_component(payload.get("algorithm", "aopt")),
             backend=payload.get("backend", "reference"),
             trace_stride=payload.get("trace_stride", 1),
+            trace=payload.get("trace", "full"),
+            observers=tuple(payload.get("observers", ())),
             params=dict(payload.get("params", {})),
             edge=dict(payload.get("edge", {})),
             sim=dict(payload.get("sim", {})),
@@ -196,16 +234,20 @@ class ScenarioSpec:
     def canonical(self) -> str:
         """Canonical JSON string of the spec (the hashing pre-image).
 
-        The ``backend`` and ``trace_stride`` fields are deliberately
-        excluded: the content hash is the *scenario identity* from which all
-        randomness is seeded, and every backend (and every trace stride)
-        must simulate the identical scenario so their results can be
-        compared (the result cache keys on hash, backend *and* stride
-        separately, see :mod:`repro.experiments.executor`).
+        The ``backend``, ``trace_stride``, ``trace`` and ``observers``
+        fields are deliberately excluded: the content hash is the *scenario
+        identity* from which all randomness is seeded, and every backend
+        (and every trace stride / trace mode / observer selection) must
+        simulate the identical scenario so their results can be compared
+        (the result cache keys on hash, backend, stride, trace mode *and*
+        observer selection separately, see
+        :mod:`repro.experiments.executor`).
         """
         payload = self.to_dict()
         payload.pop("backend", None)
         payload.pop("trace_stride", None)
+        payload.pop("trace", None)
+        payload.pop("observers", None)
         return canonical_json({"version": SPEC_FORMAT_VERSION, "spec": payload})
 
     def content_hash(self) -> str:
@@ -240,3 +282,12 @@ class ScenarioSpec:
     def with_trace_stride(self, trace_stride: int) -> "ScenarioSpec":
         """Same scenario, recording only every k-th sample."""
         return replace(self, trace_stride=trace_stride)
+
+    def with_trace(self, trace: str) -> "ScenarioSpec":
+        """Same scenario, with (``"full"``) or without (``"none"``) a trace."""
+        return replace(self, trace=trace)
+
+    def with_observers(self, *names: str) -> "ScenarioSpec":
+        """Same scenario (same content hash, same seeds), different
+        streaming observer selection."""
+        return replace(self, observers=tuple(names))

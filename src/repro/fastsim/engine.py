@@ -115,6 +115,11 @@ class _FastAlgorithmView:
 class FastEngine:
     """Array-based fixed-step simulator specialized for AOPT + oracle estimates."""
 
+    #: Optional streaming-metrics hook (see :meth:`configure_recording`).
+    _metrics = None
+    #: Whether recorded samples are appended to ``self.trace``.
+    _record_trace = True
+
     def __init__(
         self,
         graph: DynamicGraph,
@@ -693,6 +698,16 @@ class FastEngine:
     # ------------------------------------------------------------------
     # Trace recording
     # ------------------------------------------------------------------
+    def configure_recording(self, pipeline=None, *, record_trace: bool = True) -> None:
+        """Attach a streaming metrics pipeline and/or disable trace keeping.
+
+        The pipeline reads the flat columns directly (no per-node dicts are
+        built for it); with ``record_trace=False`` no :class:`TraceSample`
+        is materialized at all and memory stays constant in the duration.
+        """
+        self._metrics = pipeline
+        self._record_trace = bool(record_trace)
+
     def _record_sample(self, force: bool = False) -> None:
         if not force and self.time + 1e-12 < self._next_sample_time:
             return
@@ -703,15 +718,20 @@ class FastEngine:
         multiplier = cols.multiplier
         mode = cols.mode
         max_estimate = cols.max_estimate
-        sample = TraceSample(
-            time=self.time,
-            logical={nid: logical[i] for i, nid in enumerate(ids)},
-            hardware={nid: hardware[i] for i, nid in enumerate(ids)},
-            multipliers={nid: multiplier[i] for i, nid in enumerate(ids)},
-            modes={nid: MODE_NAMES[mode[i]] for i, nid in enumerate(ids)},
-            max_estimates={nid: max_estimate[i] for i, nid in enumerate(ids)},
-            diameter=None,
-        )
-        self.trace.record(sample)
+        if self._record_trace:
+            sample = TraceSample(
+                time=self.time,
+                logical={nid: logical[i] for i, nid in enumerate(ids)},
+                hardware={nid: hardware[i] for i, nid in enumerate(ids)},
+                multipliers={nid: multiplier[i] for i, nid in enumerate(ids)},
+                modes={nid: MODE_NAMES[mode[i]] for i, nid in enumerate(ids)},
+                max_estimates={nid: max_estimate[i] for i, nid in enumerate(ids)},
+                diameter=None,
+            )
+            self.trace.record(sample)
+        if self._metrics is not None:
+            self._metrics.observe_columns(
+                self.time, ids, cols.index, logical, max_estimate, mode
+            )
         if not force:
             self._next_sample_time = self.time + self.trace.sample_interval

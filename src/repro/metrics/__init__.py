@@ -1,0 +1,49 @@
+"""Streaming run metrics: observers computed *during* the simulation.
+
+The paper's claims are statements about skew trajectories -- global skew
+Theta(D), gradient skew vs. distance, stabilization after an edge insertion.
+This package computes those summaries incrementally in the simulation hot
+loop instead of walking a fully materialized trace afterwards, which makes
+full traces an opt-in debugging artifact (``trace: none`` runs are
+constant-memory in the duration) while keeping every reported number
+bit-identical to the post-hoc computation it replaced.
+
+Layers:
+
+* :mod:`repro.metrics.streaming` -- scalar single-pass reducers, each the
+  exact counterpart of one trace-walking analysis;
+* :mod:`repro.metrics.views`    -- one read surface over the three engine
+  state layouts (per-node dicts, flat Python lists, NumPy columns);
+* :mod:`repro.metrics.kernels`  -- NumPy reductions for the vec backend
+  (never materializes per-node dicts);
+* :mod:`repro.metrics.observers` -- the observer registry (``global_skew``,
+  ``local_skew``, ``convergence_time``, ``mode_counts``,
+  ``stabilization_window``, ``gradient_bound_check``, plus opt-in
+  ``skew_by_distance``, ``max_estimate_lag``, ``edge_skew_histogram``);
+* :mod:`repro.metrics.pipeline` -- the per-run pipeline engines feed and the
+  cacheable :class:`~repro.metrics.pipeline.ObserverReport` it produces.
+"""
+
+from .observers import (
+    DEFAULT_OBSERVERS,
+    OBSERVERS,
+    MetricsError,
+    Observer,
+    ObserverContext,
+    make_observer,
+    observer_names,
+)
+from .pipeline import MetricsPipeline, ObserverReport, build_pipeline
+
+__all__ = [
+    "DEFAULT_OBSERVERS",
+    "MetricsError",
+    "MetricsPipeline",
+    "OBSERVERS",
+    "Observer",
+    "ObserverContext",
+    "ObserverReport",
+    "build_pipeline",
+    "make_observer",
+    "observer_names",
+]

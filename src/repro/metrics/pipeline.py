@@ -1,0 +1,195 @@
+"""The streaming pipeline: feeds observers during a run (or from a trace).
+
+A :class:`MetricsPipeline` owns a set of observers and one persistent sample
+view per state layout.  Engines feed it through exactly one of
+
+* :meth:`observe_sample`  -- dict-shaped samples (reference engine, replays);
+* :meth:`observe_columns` -- flat Python-list columns (fast engine);
+* :meth:`observe_arrays`  -- NumPy columns (vec engine);
+
+once per recorded sample, whether or not a trace is being kept.  At the end
+of the run :meth:`finalize` produces an :class:`ObserverReport` -- the
+plain-JSON artifact the experiments executor caches and
+:func:`repro.experiments.results.summarize` reads.
+
+:meth:`replay` drives the same observers from a materialized trace, which is
+how the post-hoc analysis API and the legacy ``summarize(trace=...)`` entry
+point are implemented; streaming and replay produce bit-identical reports
+(the steady-state window start is *predicted* for live streaming -- see
+:func:`repro.metrics.streaming.predict_final_time` -- and *measured* for
+replays, and the differential suite proves the two agree on every backend).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+from . import streaming
+from .observers import (
+    DEFAULT_OBSERVERS,
+    MetricsError,
+    Observer,
+    ObserverContext,
+    make_observer,
+)
+from .views import ArrayView, ColumnsView, TraceSampleView
+
+
+@dataclass(frozen=True)
+class ObserverReport:
+    """Finalized observer payloads plus the sample count (JSON-able)."""
+
+    sample_count: int
+    payloads: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.payloads.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.payloads
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"sample_count": self.sample_count, "observers": dict(self.payloads)}
+
+    @classmethod
+    def from_payload(cls, payload: Optional[Dict[str, Any]]) -> Optional["ObserverReport"]:
+        if payload is None:
+            return None
+        return cls(
+            sample_count=payload.get("sample_count", 0),
+            payloads=dict(payload.get("observers", {})),
+        )
+
+
+class MetricsPipeline:
+    """Drives a set of observers over the samples of one run."""
+
+    def __init__(
+        self,
+        observers: Sequence[Observer],
+        context: ObserverContext,
+        *,
+        predicted_final_time: Optional[float] = None,
+    ):
+        self.observers = list(observers)
+        self.context = context
+        self.sample_count = 0
+        self._predicted_final_time = predicted_final_time
+        self._started = False
+        self._dict_view: Optional[TraceSampleView] = None
+        self._columns_view: Optional[ColumnsView] = None
+        self._array_view: Optional[ArrayView] = None
+
+    # -- feeding --------------------------------------------------------
+    def _begin(self, first_time: float) -> None:
+        """Fix run-level context (the steady window) before the first sample."""
+        self._started = True
+        if self.context.steady_start is None and self._predicted_final_time is not None:
+            self.context.steady_start = streaming.steady_window_start(
+                first_time, self._predicted_final_time, self.context.steady_fraction
+            )
+
+    def _feed(self, view) -> None:
+        if not self._started:
+            self._begin(view.time)
+        self.sample_count += 1
+        for observer in self.observers:
+            observer.observe(view)
+
+    def observe_sample(self, sample) -> None:
+        """Consume one dict-shaped sample (``TraceSample`` or duck-typed)."""
+        view = self._dict_view
+        if view is None:
+            view = self._dict_view = TraceSampleView()
+        self._feed(view.set_sample(sample))
+
+    def observe_columns(self, time, ids, index, logical, max_estimate, mode) -> None:
+        """Consume one sample from flat Python-list columns (fast engine)."""
+        view = self._columns_view
+        if view is None:
+            view = self._columns_view = ColumnsView(ids, index)
+        self._feed(view.set_columns(time, logical, max_estimate, mode))
+
+    def observe_arrays(self, time, ids, index, logical, max_estimate, mode) -> None:
+        """Consume one sample from NumPy columns (vec engine)."""
+        view = self._array_view
+        if view is None:
+            view = self._array_view = ArrayView(ids, index)
+        self._feed(view.set_columns(time, logical, max_estimate, mode))
+
+    # -- results --------------------------------------------------------
+    def finalize(self) -> ObserverReport:
+        return ObserverReport(
+            sample_count=self.sample_count,
+            payloads={
+                observer.name: observer.finalize() for observer in self.observers
+            },
+        )
+
+    def replay(self, trace: Iterable) -> ObserverReport:
+        """Feed a materialized trace through the pipeline and finalize.
+
+        The steady window is measured from the trace itself (first and final
+        sample times) with the exact expression of
+        :func:`repro.analysis.skew.steady_state_window`.
+        """
+        samples = trace if hasattr(trace, "first") else list(trace)
+        if hasattr(samples, "first"):
+            first = samples.first().time if len(samples) else None
+            final = samples.final().time if len(samples) else None
+        else:
+            first = samples[0].time if samples else None
+            final = samples[-1].time if samples else None
+        if self.context.steady_start is None and first is not None:
+            self.context.steady_start = streaming.steady_window_start(
+                first, final, self.context.steady_fraction
+            )
+        self._started = True
+        for sample in samples:
+            self.observe_sample(sample)
+        return self.finalize()
+
+
+def build_pipeline(
+    names: Optional[Sequence[str]] = None,
+    *,
+    graph,
+    base_edges: Sequence[Tuple[int, int]] = (),
+    params=None,
+    meta: Optional[Dict[str, Any]] = None,
+    global_skew_bound: Optional[float] = None,
+    has_dynamics: bool = False,
+    duration: Optional[float] = None,
+    dt: Optional[float] = None,
+    steady_fraction: float = 0.25,
+) -> MetricsPipeline:
+    """Assemble a pipeline for one run.
+
+    ``names`` defaults to :data:`~repro.metrics.observers.DEFAULT_OBSERVERS`.
+    When ``duration`` and ``dt`` are given, the final sample time is
+    predicted so steady-window observers can stream with constant memory;
+    without them the pipeline still works but only :meth:`MetricsPipeline.replay`
+    fills the steady window.
+    """
+    context = ObserverContext(
+        graph=graph,
+        base_edges=list(base_edges),
+        params=params,
+        meta=dict(meta or {}),
+        global_skew_bound=global_skew_bound,
+        has_dynamics=has_dynamics,
+        steady_fraction=steady_fraction,
+    )
+    selected = tuple(names) if names else DEFAULT_OBSERVERS
+    seen = set()
+    observers = []
+    for name in selected:
+        if name in seen:
+            raise MetricsError(f"duplicate observer {name!r}")
+        seen.add(name)
+        observers.append(make_observer(name, context))
+    predicted = None
+    if duration is not None and dt is not None:
+        predicted = streaming.predict_final_time(duration, dt)
+    return MetricsPipeline(observers, context, predicted_final_time=predicted)

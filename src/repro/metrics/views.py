@@ -1,0 +1,316 @@
+"""Sample views: one read surface over three engine representations.
+
+Observers never touch engine state directly; they read the current sample
+through a :class:`SampleView`, of which there is one implementation per
+state layout:
+
+* :class:`TraceSampleView` -- per-node dicts (the reference engine's
+  :class:`~repro.sim.trace.TraceSample`, or any duck-typed equivalent such
+  as the vec backend's lazy samples when replaying a trace);
+* :class:`ColumnsView` -- the fast engine's flat Python-list columns
+  (:class:`~repro.fastsim.columns.NodeColumns`), read without ever building
+  per-node dicts;
+* :class:`ArrayView` -- the vec backend's NumPy columns, reduced through
+  :mod:`repro.metrics.kernels` (pure array reductions, no dicts).
+
+All three produce bit-identical floats for the same state -- the reductions
+are order-insensitive maxima/minima and exact comparisons (see the kernel
+module docstring for the argument).  Pair lists (edges, gradient pairs) are
+registered once under a key and translated to the view's native indexing on
+first use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.aopt_step import MODE_NAMES
+from ..network.edge import NodeId
+
+Pair = Tuple[NodeId, NodeId]
+
+
+class SampleView:
+    """Read surface over one recorded sample (subclasses fill the hooks)."""
+
+    time: float = 0.0
+
+    def __init__(self):
+        self._gskew: Optional[float] = None
+
+    def _invalidate(self, time: float) -> None:
+        self.time = time
+        self._gskew = None
+
+    # -- reductions (memoized where several observers share them) -------
+    def global_skew(self) -> float:
+        if self._gskew is None:
+            self._gskew = self._global_skew()
+        return self._gskew
+
+    def _global_skew(self) -> float:
+        raise NotImplementedError
+
+    def pair_skew(self, u: NodeId, v: NodeId) -> float:
+        """``|L_u - L_v|`` for one node pair."""
+        raise NotImplementedError
+
+    def max_pair_skew(self, key: str, pairs: Sequence[Pair]) -> float:
+        """Largest ``|L_u - L_v|`` over a registered pair list (0.0 empty)."""
+        raise NotImplementedError
+
+    def count_exceeding(self, key: str, pairs: Sequence[Pair], limits: Sequence[float]) -> int:
+        """How many pairs have ``|L_u - L_v| > limit``."""
+        raise NotImplementedError
+
+    def group_max_update(self, key: str, pairs: Sequence[Pair], group: Sequence[int], accumulator) -> None:
+        """Fold this sample's pair skews into per-group running maxima."""
+        raise NotImplementedError
+
+    def histogram_update(self, key: str, pairs: Sequence[Pair], bin_edges: Sequence[float], counts) -> None:
+        """Bucket this sample's pair skews into per-pair histograms."""
+        raise NotImplementedError
+
+    def max_estimate_lag(self) -> float:
+        """``max_u (max_v L_v - M_u)`` over all nodes."""
+        raise NotImplementedError
+
+    def mode_counts_update(self, counts: List[int]) -> None:
+        """Add this sample's per-mode-code tallies into ``counts``."""
+        raise NotImplementedError
+
+    # -- accumulator allocation (view-native containers) ----------------
+    def make_group_accumulator(self, size: int):
+        """A zero-filled per-group running-max container."""
+        return [0.0] * size
+
+    def make_histogram_counts(self, rows: int, buckets: int):
+        """A zero-filled ``rows x buckets`` histogram container."""
+        return [[0] * buckets for _ in range(rows)]
+
+
+class TraceSampleView(SampleView):
+    """View over dict-shaped samples (``TraceSample`` or duck-typed)."""
+
+    def __init__(self):
+        super().__init__()
+        self._sample = None
+
+    def set_sample(self, sample) -> "TraceSampleView":
+        self._sample = sample
+        self._invalidate(sample.time)
+        return self
+
+    def _global_skew(self) -> float:
+        return self._sample.global_skew()
+
+    def pair_skew(self, u: NodeId, v: NodeId) -> float:
+        logical = self._sample.logical
+        return abs(logical[u] - logical[v])
+
+    def max_pair_skew(self, key, pairs) -> float:
+        logical = self._sample.logical
+        best = 0.0
+        for u, v in pairs:
+            skew = abs(logical[u] - logical[v])
+            if skew > best:
+                best = skew
+        return best
+
+    def count_exceeding(self, key, pairs, limits) -> int:
+        logical = self._sample.logical
+        count = 0
+        for (u, v), limit in zip(pairs, limits):
+            if abs(logical[u] - logical[v]) > limit:
+                count += 1
+        return count
+
+    def group_max_update(self, key, pairs, group, accumulator) -> None:
+        logical = self._sample.logical
+        for (u, v), g in zip(pairs, group):
+            skew = abs(logical[u] - logical[v])
+            if skew > accumulator[g]:
+                accumulator[g] = skew
+
+    def histogram_update(self, key, pairs, bin_edges, counts) -> None:
+        import bisect
+
+        logical = self._sample.logical
+        for index, (u, v) in enumerate(pairs):
+            bucket = bisect.bisect_right(bin_edges, abs(logical[u] - logical[v]))
+            counts[index][bucket] += 1
+
+    def max_estimate_lag(self) -> float:
+        logical = self._sample.logical
+        true_max = max(logical.values())
+        return true_max - min(self._sample.max_estimates.values())
+
+    def mode_counts_update(self, counts: List[int]) -> None:
+        for mode in self._sample.modes.values():
+            counts[MODE_NAMES.index(mode)] += 1
+
+
+class ColumnsView(SampleView):
+    """View over the fast engine's flat Python-list columns."""
+
+    def __init__(self, ids: Sequence[NodeId], index: Dict[NodeId, int]):
+        super().__init__()
+        self._ids = ids
+        self._index = index
+        self._logical: Sequence[float] = ()
+        self._max_estimate: Sequence[float] = ()
+        self._mode: Sequence[int] = ()
+        self._pair_cache: Dict[str, Tuple[List[int], List[int]]] = {}
+
+    def set_columns(self, time, logical, max_estimate, mode) -> "ColumnsView":
+        self._logical = logical
+        self._max_estimate = max_estimate
+        self._mode = mode
+        self._invalidate(time)
+        return self
+
+    def _positions(self, key: str, pairs) -> Tuple[List[int], List[int]]:
+        cached = self._pair_cache.get(key)
+        if cached is None:
+            index = self._index
+            cached = (
+                [index[u] for u, _ in pairs],
+                [index[v] for _, v in pairs],
+            )
+            self._pair_cache[key] = cached
+        return cached
+
+    def _global_skew(self) -> float:
+        values = self._logical
+        return max(values) - min(values) if values else 0.0
+
+    def pair_skew(self, u: NodeId, v: NodeId) -> float:
+        logical = self._logical
+        return abs(logical[self._index[u]] - logical[self._index[v]])
+
+    def max_pair_skew(self, key, pairs) -> float:
+        iu, iv = self._positions(key, pairs)
+        logical = self._logical
+        best = 0.0
+        for a, b in zip(iu, iv):
+            skew = abs(logical[a] - logical[b])
+            if skew > best:
+                best = skew
+        return best
+
+    def count_exceeding(self, key, pairs, limits) -> int:
+        iu, iv = self._positions(key, pairs)
+        logical = self._logical
+        count = 0
+        for a, b, limit in zip(iu, iv, limits):
+            if abs(logical[a] - logical[b]) > limit:
+                count += 1
+        return count
+
+    def group_max_update(self, key, pairs, group, accumulator) -> None:
+        iu, iv = self._positions(key, pairs)
+        logical = self._logical
+        for a, b, g in zip(iu, iv, group):
+            skew = abs(logical[a] - logical[b])
+            if skew > accumulator[g]:
+                accumulator[g] = skew
+
+    def histogram_update(self, key, pairs, bin_edges, counts) -> None:
+        import bisect
+
+        iu, iv = self._positions(key, pairs)
+        logical = self._logical
+        for index, (a, b) in enumerate(zip(iu, iv)):
+            bucket = bisect.bisect_right(bin_edges, abs(logical[a] - logical[b]))
+            counts[index][bucket] += 1
+
+    def max_estimate_lag(self) -> float:
+        return max(self._logical) - min(self._max_estimate)
+
+    def mode_counts_update(self, counts: List[int]) -> None:
+        for code in self._mode:
+            counts[code] += 1
+
+
+class ArrayView(SampleView):
+    """View over the vec engine's NumPy columns (reductions in kernels)."""
+
+    def __init__(self, ids: Sequence[NodeId], index: Dict[NodeId, int]):
+        super().__init__()
+        import numpy as np
+
+        from . import kernels
+
+        self._np = np
+        self._kernels = kernels
+        self._ids = ids
+        self._index = index
+        self._logical = None
+        self._max_estimate = None
+        self._mode = None
+        self._pair_cache: Dict[str, Tuple[object, object]] = {}
+        self._aux_cache: Dict[str, object] = {}
+
+    def set_columns(self, time, logical, max_estimate, mode) -> "ArrayView":
+        self._logical = logical
+        self._max_estimate = max_estimate
+        self._mode = mode
+        self._invalidate(time)
+        return self
+
+    def _positions(self, key: str, pairs):
+        cached = self._pair_cache.get(key)
+        if cached is None:
+            np = self._np
+            index = self._index
+            cached = (
+                np.asarray([index[u] for u, _ in pairs], dtype=np.int64),
+                np.asarray([index[v] for _, v in pairs], dtype=np.int64),
+            )
+            self._pair_cache[key] = cached
+        return cached
+
+    def _aux(self, key: str, values, dtype):
+        cached = self._aux_cache.get(key)
+        if cached is None:
+            cached = self._np.asarray(list(values), dtype=dtype)
+            self._aux_cache[key] = cached
+        return cached
+
+    def _global_skew(self) -> float:
+        return self._kernels.global_skew(self._logical)
+
+    def pair_skew(self, u: NodeId, v: NodeId) -> float:
+        logical = self._logical
+        return float(abs(logical[self._index[u]] - logical[self._index[v]]))
+
+    def max_pair_skew(self, key, pairs) -> float:
+        iu, iv = self._positions(key, pairs)
+        return self._kernels.max_pair_skew(self._logical, iu, iv)
+
+    def count_exceeding(self, key, pairs, limits) -> int:
+        iu, iv = self._positions(key, pairs)
+        limit_arr = self._aux(key + "/limits", limits, self._np.float64)
+        return self._kernels.count_exceeding(self._logical, iu, iv, limit_arr)
+
+    def group_max_update(self, key, pairs, group, accumulator) -> None:
+        iu, iv = self._positions(key, pairs)
+        group_arr = self._aux(key + "/group", group, self._np.int64)
+        self._kernels.group_max_update(self._logical, iu, iv, group_arr, accumulator)
+
+    def histogram_update(self, key, pairs, bin_edges, counts) -> None:
+        iu, iv = self._positions(key, pairs)
+        edges_arr = self._aux(key + "/bins", bin_edges, self._np.float64)
+        self._kernels.histogram_update(self._logical, iu, iv, edges_arr, counts)
+
+    def max_estimate_lag(self) -> float:
+        return self._kernels.max_estimate_lag(self._logical, self._max_estimate)
+
+    def mode_counts_update(self, counts: List[int]) -> None:
+        self._kernels.mode_counts_update(self._mode, counts)
+
+    def make_group_accumulator(self, size: int):
+        return self._np.zeros(size, dtype=self._np.float64)
+
+    def make_histogram_counts(self, rows: int, buckets: int):
+        return self._np.zeros((rows, buckets), dtype=self._np.int64)

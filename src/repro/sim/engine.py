@@ -112,6 +112,11 @@ class _NodeState:
 class Engine:
     """Fixed-step simulator for clock synchronization algorithms."""
 
+    #: Optional streaming-metrics hook (see :meth:`configure_recording`).
+    _metrics = None
+    #: Whether recorded samples are appended to ``self.trace``.
+    _record_trace = True
+
     def __init__(
         self,
         graph: DynamicGraph,
@@ -278,6 +283,18 @@ class Engine:
             state.hardware.advance(self.dt, rate)
             state.logical.advance(self.dt, rate, decision.multiplier)
 
+    def configure_recording(self, pipeline=None, *, record_trace: bool = True) -> None:
+        """Attach a streaming metrics pipeline and/or disable trace keeping.
+
+        ``pipeline`` (a :class:`repro.metrics.pipeline.MetricsPipeline`) is
+        fed one sample view per recorded sample -- at exactly the instants a
+        trace sample is (or would be) recorded.  With ``record_trace=False``
+        the engine keeps no samples at all: ``self.trace`` stays empty and
+        memory no longer grows with the run duration.
+        """
+        self._metrics = pipeline
+        self._record_trace = bool(record_trace)
+
     def _record_sample(self, force: bool = False) -> None:
         if not force and self.time + 1e-12 < self._next_sample_time:
             return
@@ -290,6 +307,9 @@ class Engine:
             max_estimates={n: s.algorithm.max_estimate() for n, s in self._nodes.items()},
             diameter=self.current_diameter(),
         )
-        self.trace.record(sample)
+        if self._record_trace:
+            self.trace.record(sample)
+        if self._metrics is not None:
+            self._metrics.observe_sample(sample)
         if not force:
             self._next_sample_time = self.time + self.trace.sample_interval

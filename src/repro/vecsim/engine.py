@@ -774,17 +774,24 @@ class VecEngine(FastEngine):
         if not force and self.time + 1e-12 < self._next_sample_time:
             return
         cols = self._cols
-        sample = LazyTraceSample(
-            self.time,
-            cols.ids,
-            cols.index,
-            cols.logical.copy(),
-            cols.hardware.copy(),
-            cols.multiplier.copy(),
-            cols.mode.copy(),
-            cols.max_estimate.copy(),
-        )
-        self.trace.record(sample)
+        if self._record_trace:
+            sample = LazyTraceSample(
+                self.time,
+                cols.ids,
+                cols.index,
+                cols.logical.copy(),
+                cols.hardware.copy(),
+                cols.multiplier.copy(),
+                cols.mode.copy(),
+                cols.max_estimate.copy(),
+            )
+            self.trace.record(sample)
+        if self._metrics is not None:
+            # Pure array reductions over the live columns: same floats as
+            # the (would-be) sample copies, no per-node dicts, no copies.
+            self._metrics.observe_arrays(
+                self.time, cols.ids, cols.index, cols.logical, cols.max_estimate, cols.mode
+            )
         if not force:
             self._next_sample_time = self.time + self.trace.sample_interval
 

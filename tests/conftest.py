@@ -8,8 +8,115 @@ import pytest
 
 from repro.core.interfaces import NodeAPI
 from repro.core.parameters import Parameters
+from repro.experiments.spec import ComponentSpec, ScenarioSpec
 from repro.network.edge import EdgeParams, NodeId
 from repro.network import topology
+
+
+# ----------------------------------------------------------------------
+# Shared spec generators for the differential (equivalence) suites
+# ----------------------------------------------------------------------
+#: The seven named scenarios with overrides that shorten the runs while
+#: keeping every mechanism (churn, failover, insertion handshake, drift
+#: variety) in play.  Used by the fastsim, vecsim and streaming-metrics
+#: differential suites.
+EQUIVALENCE_SCENARIO_OVERRIDES = {
+    "line_scaling": {"n": 6, "sim": {"duration": 30.0}},
+    "end_to_end_insertion": {
+        "n": 6,
+        "insertion_time": 10.0,
+        "sim": {"duration": 60.0},
+    },
+    "grid_periodic_churn": {"rows": 3, "cols": 3, "duration": 60.0},
+    "random_connected_sliding_window": {"n": 8, "duration": 60.0},
+    "star_hub_failover": {"n": 8, "failover_time": 15.0, "duration": 40.0},
+    "ring_sinusoidal_drift": {"n": 8, "duration": 30.0},
+    "quickstart_line": {"n": 6, "duration": 40.0},
+}
+
+#: Axes of the randomized fuzz-spec generator.
+FUZZ_TOPOLOGIES = [
+    ("line", lambda rng: {"n": rng.randint(3, 8)}),
+    ("ring", lambda rng: {"n": rng.randint(3, 8)}),
+    ("star", lambda rng: {"n": rng.randint(3, 8)}),
+    ("complete", lambda rng: {"n": rng.randint(3, 6)}),
+    ("grid", lambda rng: {"rows": rng.randint(2, 3), "cols": rng.randint(2, 3)}),
+    ("binary_tree", lambda rng: {"depth": rng.randint(2, 3)}),
+    ("random_tree", lambda rng: {"n": rng.randint(4, 8)}),
+    (
+        "random_connected",
+        lambda rng: {"n": rng.randint(4, 8), "extra_edge_probability": 0.2},
+    ),
+]
+FUZZ_DRIFTS = [
+    None,
+    ("none", {}),
+    ("two_group", {"swap_period": 7.0}),
+    ("sinusoidal", {"period": 11.0}),
+    ("random_constant", {}),
+    ("random_walk", {"period": 3.0}),
+    ("ramp", {"reverse_period": 9.0}),
+]
+FUZZ_DELAYS = [
+    None,
+    ("zero", {}),
+    ("fixed_fraction", {"fraction": 0.3}),
+    ("uniform", {"low_fraction": 0.1, "high_fraction": 0.9}),
+    ("directional", {}),
+]
+FUZZ_STRATEGIES = ["zero", "uniform", "underestimate", "overestimate", "toward_observer"]
+
+
+def make_fuzz_spec(rng, case: int, label_prefix: str) -> ScenarioSpec:
+    """One randomized spec over topologies x drifts x delays x strategies.
+
+    Shared by every differential suite (fastsim, vecsim, streaming metrics);
+    each suite passes its own seeded ``rng`` so their fuzz populations stay
+    distinct but reproducible.
+    """
+    topology_name, args_fn = FUZZ_TOPOLOGIES[rng.randrange(len(FUZZ_TOPOLOGIES))]
+    topology_args = args_fn(rng)
+    drift = FUZZ_DRIFTS[rng.randrange(len(FUZZ_DRIFTS))]
+    delay = FUZZ_DELAYS[rng.randrange(len(FUZZ_DELAYS))]
+    strategy = FUZZ_STRATEGIES[rng.randrange(len(FUZZ_STRATEGIES))]
+    sim = {
+        "dt": rng.choice([0.05, 0.1]),
+        "duration": rng.choice([8.0, 12.0]),
+        "sample_interval": 1.0,
+        "estimate_strategy": strategy,
+    }
+    ramp = rng.choice([None, 0.5, 2.0])
+    return ScenarioSpec(
+        label=f"{label_prefix}/{case}/{topology_name}/{strategy}",
+        topology=ComponentSpec(topology_name, topology_args),
+        drift=ComponentSpec(*drift) if drift else None,
+        delay=ComponentSpec(*delay) if delay else None,
+        algorithm=ComponentSpec("aopt", {"global_skew_bound": 25.0}),
+        params={"rho": 0.015, "mu": 0.1},
+        edge={"epsilon": 1.0, "tau": 0.5, "delay": 2.0},
+        sim=sim,
+        initial_ramp_per_edge=ramp,
+    )
+
+
+def make_delay_sweep_spec(delay, label_prefix: str) -> ScenarioSpec:
+    """Deterministic line spec exercising one delay model (or the default)."""
+    return ScenarioSpec(
+        label=f"{label_prefix}/{delay[0] if delay else 'default'}",
+        topology=ComponentSpec("line", {"n": 5}),
+        drift=ComponentSpec("two_group", {"swap_period": 5.0}),
+        delay=ComponentSpec(*delay) if delay else None,
+        algorithm=ComponentSpec("aopt", {"global_skew_bound": 25.0}),
+        params={"rho": 0.015, "mu": 0.1},
+        edge={"epsilon": 1.0, "tau": 0.5, "delay": 2.0},
+        sim={
+            "dt": 0.1,
+            "duration": 10.0,
+            "sample_interval": 1.0,
+            "estimate_strategy": "toward_observer",
+        },
+        initial_ramp_per_edge=1.0,
+    )
 
 
 @pytest.fixture

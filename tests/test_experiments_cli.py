@@ -253,3 +253,114 @@ class TestCacheCommand:
         assert "1 cache entries" in capsys.readouterr().out
         assert run_cli("cache", "--cache-dir", str(tmp_path), "--clear") == 0
         assert "removed 1" in capsys.readouterr().out
+
+
+class TestObserversAndTrace:
+    """--observers / --trace flags of the streaming metrics pipeline (PR 5)."""
+
+    def test_run_with_trace_none_and_observers(self, tmp_path, capsys):
+        status = run_cli(
+            "run",
+            "quickstart_line",
+            "--set",
+            "n=4",
+            "--set",
+            "sim.duration=4.0",
+            "--trace",
+            "none",
+            "--observers",
+            "global_skew,local_skew,mode_counts",
+            "--json",
+            "--cache-dir",
+            str(tmp_path),
+        )
+        assert status == 0
+        payload = json.loads(capsys.readouterr().out)
+        (run,) = payload["runs"]
+        assert run["spec"]["trace"] == "none"
+        assert run["spec"]["observers"] == ["global_skew", "local_skew", "mode_counts"]
+
+    def test_unknown_observer_fails_cleanly(self, tmp_path, capsys):
+        status = run_cli(
+            "run",
+            "quickstart_line",
+            "--set",
+            "n=4",
+            "--observers",
+            "does_not_exist",
+            "--cache-dir",
+            str(tmp_path),
+        )
+        assert status == 2
+        err = capsys.readouterr().err
+        assert "unknown observer" in err
+        assert "global_skew" in err  # the known names are listed
+
+    def test_set_trace_pseudo_override_also_works(self, tmp_path, capsys):
+        status = run_cli(
+            "run",
+            "quickstart_line",
+            "--set",
+            "n=4",
+            "--set",
+            "sim.duration=4.0",
+            "--set",
+            "trace=none",
+            "--json",
+            "--cache-dir",
+            str(tmp_path),
+        )
+        assert status == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["spec"]["trace"] == "none"
+
+    def test_list_mentions_observers(self, capsys):
+        assert run_cli("list") == 0
+        out = capsys.readouterr().out
+        assert "observers:" in out
+        assert "gradient_bound_check" in out
+
+    def test_bench_trace_none_checks_reports(self, tmp_path, capsys):
+        status = run_cli(
+            "bench",
+            "--sizes",
+            "8",
+            "--topologies",
+            "line",
+            "--duration",
+            "4",
+            "--backends",
+            "reference,fast",
+            "--trace",
+            "none",
+            "--json",
+            "--output",
+            "",
+        )
+        assert status == 0
+        payload = json.loads(capsys.readouterr().out)
+        (entry,) = payload["results"]
+        assert entry["trace_mode"] == "none"
+        assert entry["reports_identical"] is True
+
+    def test_bench_memory_flag_records_peaks(self, tmp_path, capsys):
+        status = run_cli(
+            "bench",
+            "--sizes",
+            "8",
+            "--topologies",
+            "line",
+            "--duration",
+            "4",
+            "--backends",
+            "fast",
+            "--memory",
+            "--no-check",
+            "--json",
+            "--output",
+            "",
+        )
+        assert status == 0
+        payload = json.loads(capsys.readouterr().out)
+        (entry,) = payload["results"]
+        assert entry["fast_peak_tracemalloc_bytes"] > 0

@@ -171,3 +171,62 @@ class TestRunPayloads:
         run = runner.run(tiny_spec())
         assert "engine" not in run.summary.to_dict()
         assert run.summary.broken_level_chains == 0
+
+
+class TestTraceNoneRuns:
+    """trace: none runs cache only the streaming observer report (PR 5)."""
+
+    def test_traceless_run_has_report_but_no_trace(self, runner):
+        run = runner.run(tiny_spec().with_trace("none"))
+        assert run.trace is None
+        assert run.report is not None
+        assert run.report.sample_count == run.summary.sample_count > 0
+
+    def test_traceless_cache_entry_is_distinct_and_round_trips(self, runner):
+        spec = tiny_spec()
+        traceless = spec.with_trace("none")
+        assert runner.cache_path(traceless).name.endswith(".notrace.json")
+        assert runner.cache_path(traceless) != runner.cache_path(spec)
+        first = runner.run(traceless)
+        second = runner.run(traceless)
+        assert second.from_cache
+        assert second.summary == first.summary
+        assert second.report == first.report
+        assert second.trace is None
+
+    def test_traceless_summary_equals_full_trace_summary(self, runner):
+        spec = tiny_spec()
+        full = runner.run(spec)
+        none = runner.run(spec.with_trace("none"))
+        assert none.summary == full.summary
+        assert none.report == full.report
+
+    def test_full_run_also_carries_the_report(self, runner):
+        run = runner.run(tiny_spec())
+        assert run.report is not None
+        assert "global_skew" in run.report
+
+    def test_custom_observer_selection_is_cached_separately(self, runner):
+        spec = tiny_spec()
+        custom = spec.with_observers("global_skew", "mode_counts")
+        # Same scenario identity (same seeds) -- but a distinct cache entry,
+        # because the cached payload contains different observer results.
+        assert custom.content_hash() == spec.content_hash()
+        assert ".obs-" in runner.cache_path(custom).name
+        assert runner.cache_path(custom) != runner.cache_path(spec)
+        run = runner.run(custom)
+        assert set(run.report.payloads) == {"global_skew", "mode_counts"}
+        # Fields backed by unselected observers read "not measured", never
+        # a fabricated measurement.
+        assert run.summary.gradient_violations is None
+        assert run.summary.max_local_skew is None
+        assert run.summary.max_global_skew is not None
+
+    def test_spec_trace_fields_survive_serialisation(self):
+        spec = tiny_spec().with_trace("none").with_observers("global_skew")
+        from repro.experiments import ScenarioSpec
+
+        restored = ScenarioSpec.from_dict(spec.to_dict())
+        assert restored.trace == "none"
+        assert restored.observers == ("global_skew",)
+        assert restored.content_hash() == spec.content_hash()

@@ -16,27 +16,21 @@ import random
 
 import pytest
 
+from conftest import (
+    EQUIVALENCE_SCENARIO_OVERRIDES,
+    FUZZ_DELAYS,
+    make_delay_sweep_spec,
+    make_fuzz_spec,
+)
 from repro.core.neighbor_sets import FULLY_INSERTED
 from repro.experiments import execute_spec, registry, scenario
 from repro.experiments.spec import ComponentSpec, ScenarioSpec
 from repro.fastsim import FastEngine
 from repro.sim.runner import build_engine
 
-#: The seven named scenarios, with overrides that shorten the runs while
-#: keeping every mechanism (churn, failover, insertion handshake) in play.
-NAMED_SCENARIO_OVERRIDES = {
-    "line_scaling": {"n": 6, "sim": {"duration": 30.0}},
-    "end_to_end_insertion": {
-        "n": 6,
-        "insertion_time": 10.0,
-        "sim": {"duration": 60.0},
-    },
-    "grid_periodic_churn": {"rows": 3, "cols": 3, "duration": 60.0},
-    "random_connected_sliding_window": {"n": 8, "duration": 60.0},
-    "star_hub_failover": {"n": 8, "failover_time": 15.0, "duration": 40.0},
-    "ring_sinusoidal_drift": {"n": 8, "duration": 30.0},
-    "quickstart_line": {"n": 6, "duration": 40.0},
-}
+#: The seven named scenarios with shortened runs (shared across the
+#: differential suites; see tests/conftest.py).
+NAMED_SCENARIO_OVERRIDES = EQUIVALENCE_SCENARIO_OVERRIDES
 
 
 def run_both(spec):
@@ -125,87 +119,19 @@ class TestStagedInsertionEquivalence:
 
 
 class TestFuzzEquivalence:
-    """Randomized specs over topologies x drifts x delays x strategies."""
+    """Randomized specs over topologies x drifts x delays x strategies.
 
-    TOPOLOGIES = [
-        ("line", lambda rng: {"n": rng.randint(3, 8)}),
-        ("ring", lambda rng: {"n": rng.randint(3, 8)}),
-        ("star", lambda rng: {"n": rng.randint(3, 8)}),
-        ("complete", lambda rng: {"n": rng.randint(3, 6)}),
-        ("grid", lambda rng: {"rows": rng.randint(2, 3), "cols": rng.randint(2, 3)}),
-        ("binary_tree", lambda rng: {"depth": rng.randint(2, 3)}),
-        ("random_tree", lambda rng: {"n": rng.randint(4, 8)}),
-        (
-            "random_connected",
-            lambda rng: {"n": rng.randint(4, 8), "extra_edge_probability": 0.2},
-        ),
-    ]
-    DRIFTS = [
-        None,
-        ("none", {}),
-        ("two_group", {"swap_period": 7.0}),
-        ("sinusoidal", {"period": 11.0}),
-        ("random_constant", {}),
-        ("random_walk", {"period": 3.0}),
-        ("ramp", {"reverse_period": 9.0}),
-    ]
-    DELAYS = [
-        None,
-        ("zero", {}),
-        ("fixed_fraction", {"fraction": 0.3}),
-        ("uniform", {"low_fraction": 0.1, "high_fraction": 0.9}),
-        ("directional", {}),
-    ]
-    STRATEGIES = ["zero", "uniform", "underestimate", "overestimate", "toward_observer"]
-
-    def random_spec(self, rng, case):
-        topology_name, args_fn = self.TOPOLOGIES[rng.randrange(len(self.TOPOLOGIES))]
-        topology_args = args_fn(rng)
-        drift = self.DRIFTS[rng.randrange(len(self.DRIFTS))]
-        delay = self.DELAYS[rng.randrange(len(self.DELAYS))]
-        strategy = self.STRATEGIES[rng.randrange(len(self.STRATEGIES))]
-        sim = {
-            "dt": rng.choice([0.05, 0.1]),
-            "duration": rng.choice([8.0, 12.0]),
-            "sample_interval": 1.0,
-            "estimate_strategy": strategy,
-        }
-        ramp = rng.choice([None, 0.5, 2.0])
-        return ScenarioSpec(
-            label=f"fastsim_fuzz/{case}/{topology_name}/{strategy}",
-            topology=ComponentSpec(topology_name, topology_args),
-            drift=ComponentSpec(*drift) if drift else None,
-            delay=ComponentSpec(*delay) if delay else None,
-            algorithm=ComponentSpec("aopt", {"global_skew_bound": 25.0}),
-            params={"rho": 0.015, "mu": 0.1},
-            edge={"epsilon": 1.0, "tau": 0.5, "delay": 2.0},
-            sim=sim,
-            initial_ramp_per_edge=ramp,
-        )
+    The generators live in tests/conftest.py and are shared with the vecsim
+    and streaming-metrics differential suites.
+    """
 
     @pytest.mark.parametrize("case", range(6))
     def test_random_specs_agree(self, case):
         rng = random.Random(20260729 + case)
-        spec = self.random_spec(rng, case)
+        spec = make_fuzz_spec(rng, case, "fastsim_fuzz")
         assert_equivalent(spec)
 
-    @pytest.mark.parametrize("delay", DELAYS)
+    @pytest.mark.parametrize("delay", FUZZ_DELAYS)
     def test_every_delay_model_agrees(self, delay):
         """Deterministic sweep over all delay models (incl. the default)."""
-        spec = ScenarioSpec(
-            label=f"fastsim_delay/{delay[0] if delay else 'default'}",
-            topology=ComponentSpec("line", {"n": 5}),
-            drift=ComponentSpec("two_group", {"swap_period": 5.0}),
-            delay=ComponentSpec(*delay) if delay else None,
-            algorithm=ComponentSpec("aopt", {"global_skew_bound": 25.0}),
-            params={"rho": 0.015, "mu": 0.1},
-            edge={"epsilon": 1.0, "tau": 0.5, "delay": 2.0},
-            sim={
-                "dt": 0.1,
-                "duration": 10.0,
-                "sample_interval": 1.0,
-                "estimate_strategy": "toward_observer",
-            },
-            initial_ramp_per_edge=1.0,
-        )
-        assert_equivalent(spec)
+        assert_equivalent(make_delay_sweep_spec(delay, "fastsim_delay"))

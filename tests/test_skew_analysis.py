@@ -110,3 +110,65 @@ class TestMaxEstimateChecks:
         assert skew.max_estimate_violations(good) == 0
         bad = sample(0.0, {0: 5.0, 1: 10.0}, max_estimates={0: 12.0, 1: 10.0})
         assert skew.max_estimate_violations(bad) == 1
+
+
+class TestWindowAndRateEdgeCases:
+    """Edge cases for steady_state_window / skew_growth_rate (PR 5).
+
+    Previously only exercised indirectly through summarize(); pinned down
+    here directly: empty traces, single samples, zero-length windows.
+    """
+
+    def test_steady_state_window_empty_trace_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            skew.steady_state_window(Trace(1.0), fraction=0.25)
+
+    def test_steady_state_window_single_sample_degenerates(self):
+        trace = Trace(1.0)
+        trace.record(sample(3.0, {0: 1.0}))
+        start, end = skew.steady_state_window(trace, fraction=0.25)
+        assert (start, end) == (3.0, 3.0)
+
+    def test_steady_state_window_full_fraction_covers_whole_run(self):
+        trace = Trace(1.0)
+        trace.record(sample(1.0, {0: 0.0}))
+        trace.record(sample(5.0, {0: 0.0}))
+        assert skew.steady_state_window(trace, fraction=1.0) == (1.0, 5.0)
+
+    def test_steady_state_window_fraction_above_one_rejected(self):
+        trace = Trace(1.0)
+        trace.record(sample(0.0, {0: 0.0}))
+        with pytest.raises(ValueError, match="fraction"):
+            skew.steady_state_window(trace, fraction=1.5)
+
+    def test_skew_growth_rate_empty_trace(self):
+        assert skew.skew_growth_rate(Trace(1.0), start=0.0, end=10.0) is None
+
+    def test_skew_growth_rate_single_sample(self):
+        trace = Trace(1.0)
+        trace.record(sample(1.0, {0: 0.0, 1: 1.0}))
+        assert skew.skew_growth_rate(trace, start=0.0, end=2.0) is None
+
+    def test_skew_growth_rate_zero_length_window(self):
+        trace = Trace(1.0)
+        for t in range(5):
+            trace.record(sample(float(t), {0: 0.0, 1: float(t)}))
+        # Window collapsed to one instant: only one sample falls inside.
+        assert skew.skew_growth_rate(trace, start=2.0, end=2.0) is None
+
+    def test_skew_growth_rate_coincident_times_has_no_slope(self):
+        trace = Trace(1.0)  # duplicates allowed by default policy
+        trace.record(sample(1.0, {0: 0.0, 1: 1.0}))
+        trace.record(sample(1.0, {0: 0.0, 1: 3.0}))
+        # Two samples, but zero time variance: the slope is undefined.
+        assert skew.skew_growth_rate(trace, start=0.0, end=2.0) is None
+
+    def test_steady_window_start_matches_streaming_helper(self):
+        from repro.metrics import streaming
+
+        trace = Trace(1.0)
+        trace.record(sample(2.0, {0: 0.0}))
+        trace.record(sample(10.0, {0: 0.0}))
+        start, end = skew.steady_state_window(trace, fraction=0.25)
+        assert start == streaming.steady_window_start(2.0, 10.0, 0.25)
+        assert end == 10.0
