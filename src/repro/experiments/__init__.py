@@ -22,11 +22,14 @@ from .bench import bench_spec, compare_bench_payloads, run_backend_bench, write_
 from .executor import (
     ExperimentRun,
     ExperimentRunner,
+    ResultCache,
+    SweepEvent,
     SweepStats,
     batch_key,
     execute_spec,
     execute_specs_batched,
     expand_grid,
+    run_sweep,
 )
 from .registry import (
     ALGORITHMS,
@@ -53,9 +56,11 @@ __all__ = [
     "ExperimentRun",
     "ExperimentRunner",
     "MaterialisedScenario",
+    "ResultCache",
     "RunSummary",
     "ScenarioSpec",
     "SpecError",
+    "SweepEvent",
     "SweepStats",
     "batch_key",
     "bench_spec",
@@ -67,6 +72,7 @@ __all__ = [
     "execute_specs_batched",
     "expand_grid",
     "run_backend_bench",
+    "run_sweep",
     "scenario",
     "summarize",
     "write_bench_json",

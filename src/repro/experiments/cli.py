@@ -8,6 +8,8 @@
     python -m repro.experiments sweep line_scaling --grid n=4,8,16 \\
         --grid algorithm=AOPT,MaxPropagation --workers 4
     python -m repro.experiments bench --sizes 64,256,1024
+    python -m repro.experiments serve --port 8765        # sweep service daemon
+    python -m repro.experiments cache --prune-older-than 86400
 
 ``--set key=value`` passes builder arguments to the named scenario; dotted
 keys populate nested mappings (``--set sim.duration=40`` shrinks the run).
@@ -383,16 +385,69 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return status
 
 
+def _cache_stats_line(cache: executor.ResultCache) -> str:
+    stats = cache.stats()
+    breakdown = ", ".join(
+        f"{backend}: {count}" for backend, count in stats["by_backend"].items()
+    )
+    suffix = f" ({breakdown})" if breakdown else ""
+    return (
+        f"{stats['entries']} cache entries, {stats['total_bytes']} bytes "
+        f"in {cache.cache_dir}{suffix}"
+    )
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
-    runner = executor.ExperimentRunner(cache_dir=args.cache_dir)
+    cache = executor.ResultCache(args.cache_dir)
     if args.clear:
-        removed = runner.clear_cache()
-        print(f"removed {removed} cache entries from {runner.cache_dir}")
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {cache.cache_dir}")
         return 0
-    entries = sorted(runner.cache_dir.glob("*.json")) if runner.cache_dir.is_dir() else []
-    print(f"{len(entries)} cache entries in {runner.cache_dir}")
-    for entry in entries:
+    if args.prune_older_than is not None or args.max_bytes is not None:
+        removed, freed = cache.prune(
+            older_than=args.prune_older_than, max_bytes=args.max_bytes
+        )
+        print(f"pruned {removed} cache entries ({freed} bytes) from {cache.cache_dir}")
+        print(_cache_stats_line(cache))
+        return 0
+    print(_cache_stats_line(cache))
+    for entry in cache.entries():
         print(f"  {entry.name}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from ..service import JsonlLog, ServiceConfig, SweepServer, SweepService
+    from ..service.core import ServiceError
+
+    try:
+        config = ServiceConfig(
+            workers=args.workers,
+            sweep_workers=args.sweep_workers,
+            strict_backend=args.strict_backend,
+            janitor_interval=args.janitor_interval,
+            prune_older_than=args.prune_older_than,
+            max_cache_bytes=args.max_bytes,
+        )
+        service = SweepService(args.cache_dir, config=config)
+        log_path = args.log_file
+        if log_path is None:
+            log_path = service.cache.cache_dir / "service.log.jsonl"
+        service.log = JsonlLog(None if log_path == "" else log_path)
+        server = SweepServer(service, host=args.host, port=args.port)
+    except (ServiceError, OSError) as exc:
+        raise CliError(str(exc)) from exc
+    host, port = server.address
+    print(f"sweep service on http://{host}:{port}", file=sys.stderr)
+    print(f"cache: {service.cache.cache_dir}", file=sys.stderr)
+    if service.log.enabled:
+        print(f"telemetry: {service.log.path} (JSONL, tail -f friendly)", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
     return 0
 
 
@@ -530,10 +585,82 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.set_defaults(handler=cmd_bench)
 
-    cache_parser = subparsers.add_parser("cache", help="inspect or clear the result cache")
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect, prune or clear the result cache"
+    )
     cache_parser.add_argument("--cache-dir", default=None)
     cache_parser.add_argument("--clear", action="store_true", help="delete all entries")
+    cache_parser.add_argument(
+        "--prune-older-than",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="delete entries last written more than SECONDS ago",
+    )
+    cache_parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evict least-recently-written entries until the cache fits N bytes",
+    )
     cache_parser.set_defaults(handler=cmd_cache)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the sweep service daemon (HTTP/JSON API over the result cache)",
+        description="Long-running sweep service: POST /sweeps submits a spec "
+        "list or grid, GET /jobs/{id} polls progress, GET /results/{key} "
+        "serves cached payloads byte-for-byte, GET /healthz and GET /specs "
+        "introspect.  Identical concurrent submissions coalesce onto one "
+        "execution; completed hashes are served from cache instantly.",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument("--port", type=int, default=8765, help="bind port (0 = ephemeral)")
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, help="background sweep worker threads"
+    )
+    serve_parser.add_argument(
+        "--sweep-workers",
+        type=int,
+        default=1,
+        help="multiprocessing workers inside each job's sweep loop",
+    )
+    serve_parser.add_argument("--cache-dir", default=None, help="result cache directory")
+    serve_parser.add_argument(
+        "--strict-backend",
+        action="store_true",
+        help="fail jobs instead of falling back to the reference backend",
+    )
+    serve_parser.add_argument(
+        "--log-file",
+        default=None,
+        metavar="PATH",
+        help="JSONL request/job telemetry file (default: "
+        "<cache-dir>/service.log.jsonl; pass '' to disable)",
+    )
+    serve_parser.add_argument(
+        "--janitor-interval",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="cache janitor cadence (active only with a prune policy)",
+    )
+    serve_parser.add_argument(
+        "--prune-older-than",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="janitor: delete cache entries older than SECONDS",
+    )
+    serve_parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="janitor: keep the cache under N bytes (LRU by write time)",
+    )
+    serve_parser.set_defaults(handler=cmd_serve)
     return parser
 
 

@@ -5,12 +5,18 @@ The executor turns specs into runs:
 * :func:`execute_spec` materialises one spec, runs the engine and returns a
   plain-JSON payload (summary + trace + metadata) -- the *only* thing that
   crosses process boundaries, so workers never pickle engines;
-* :class:`ExperimentRunner` runs batches of specs across a
-  ``multiprocessing`` pool, consulting a content-hash-keyed cache directory
-  (``benchmarks/results/cache/`` by default) first.  Because every source of
-  randomness is seeded from the spec hash (see
-  :mod:`repro.experiments.registry`), a parallel sweep is bit-identical to a
-  serial one, and a repeated sweep is served entirely from cache;
+* :class:`ResultCache` is the content-hash-keyed on-disk store
+  (``benchmarks/results/cache/`` by default) with atomic writes, stats and
+  pruning -- shared by one-shot CLI runs and the long-running sweep service
+  (:mod:`repro.service`), whose ``GET /results/{key}`` API serves these
+  files verbatim;
+* :func:`run_sweep` is THE sweep loop -- cache probe, vector-batch
+  grouping, pool dispatch, backend fallback, cache store -- with an
+  optional per-spec progress callback; :class:`ExperimentRunner` is its
+  thin stateful driver.  Because every source of randomness is seeded from
+  the spec hash (see :mod:`repro.experiments.registry`), a parallel sweep
+  is bit-identical to a serial one, and a repeated sweep is served
+  entirely from cache;
 * :func:`expand_grid` expands a named scenario and a parameter grid into the
   cartesian product of specs.
 """
@@ -23,10 +29,12 @@ import json
 import logging
 import multiprocessing
 import os
+import re
 import time
+import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .. import __version__ as _library_version
 from ..fastsim.backend import backend_available, get_backend
@@ -312,52 +320,50 @@ def _run_from_payload(
     )
 
 
-class ExperimentRunner:
-    """Run specs with on-disk caching and an optional worker pool.
+# ----------------------------------------------------------------------
+# The on-disk result cache
+# ----------------------------------------------------------------------
+#: Cache keys are the spec content hash plus dot-separated observation
+#: suffixes (backend, stride, trace mode, observer digest); nothing else may
+#: ever be fetched through :meth:`ResultCache.path_for_key`.
+_CACHE_KEY_RE = re.compile(r"^[0-9a-f]{64}(\.[A-Za-z0-9_-]+)*$")
 
-    ``stats`` accumulates over the runner's lifetime; :meth:`run_all` also
-    returns the stats of that one batch.
+#: Suffix tokens that are observation details rather than a backend name
+#: (see :meth:`ResultCache.key_for`): ``.s{k}`` strides, ``.notrace`` and
+#: ``.obs-{digest}`` selections.
+_NON_BACKEND_SUFFIX_RE = re.compile(r"^(s\d+|notrace|obs-[0-9a-f]+)$")
 
-    Cache-miss specs on a batchable backend (``vec``) are grouped into
-    lockstep run batches (same ``dt``/duration/strategy) before anything is
-    handed to the multiprocessing pool.  When a spec's backend raises
-    :class:`UnsupportedScenarioError` the runner re-executes it on the
-    ``reference`` backend with a logged warning -- pass
-    ``strict_backend=True`` (CLI: ``--strict-backend``) to make that a hard
-    error instead.
+
+class ResultCache:
+    """Content-hash-keyed JSON result store shared by CLI and daemon.
+
+    One file per (scenario hash, backend, trace stride, trace mode,
+    observer selection); writes are atomic (unique temp file +
+    ``os.replace``), so concurrent writers -- threads in one daemon process
+    or independent processes sharing the directory -- can never tear an
+    entry, only overwrite it with identical bytes.
     """
 
-    def __init__(
-        self,
-        cache_dir: Optional[os.PathLike] = None,
-        *,
-        workers: int = 1,
-        use_cache: bool = True,
-        strict_backend: bool = False,
-        batching: bool = True,
-    ):
-        if workers < 1:
-            raise ExecutorError(f"workers must be >= 1, got {workers}")
+    def __init__(self, cache_dir: Optional[os.PathLike] = None):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
-        self.workers = workers
-        self.use_cache = use_cache
-        self.strict_backend = strict_backend
-        self.batching = batching
-        self.stats = SweepStats()
 
-    # -- cache ----------------------------------------------------------
-    def cache_path(self, spec: ScenarioSpec) -> Path:
-        # The content hash is backend-independent (it is the scenario
-        # identity that seeds all randomness), so non-reference backends get
-        # their own file name and can never collide with reference results.
-        # The reference backend keeps the historical ``{hash}.json`` name so
-        # pre-backend cache entries are found, recognised as stale via the
-        # format version check, and overwritten instead of orphaned.
-        # Strided traces likewise get their own ``.s{k}`` suffix, traceless
-        # runs a ``.notrace`` suffix, and non-default observer selections an
-        # ``.obs-{digest}`` suffix -- all observation details are excluded
-        # from the content hash (same scenario, same seeds) but their cached
-        # results contain different payloads and must never collide.
+    # -- keys -----------------------------------------------------------
+    def key_for(self, spec: ScenarioSpec) -> str:
+        """The cache key (file stem) of a spec -- also the public API key
+        served by ``GET /results/{key}`` on the sweep service.
+
+        The content hash is backend-independent (it is the scenario
+        identity that seeds all randomness), so non-reference backends get
+        their own file name and can never collide with reference results.
+        The reference backend keeps the historical ``{hash}`` name so
+        pre-backend cache entries are found, recognised as stale via the
+        format version check, and overwritten instead of orphaned.
+        Strided traces likewise get their own ``.s{k}`` suffix, traceless
+        runs a ``.notrace`` suffix, and non-default observer selections an
+        ``.obs-{digest}`` suffix -- all observation details are excluded
+        from the content hash (same scenario, same seeds) but their cached
+        results contain different payloads and must never collide.
+        """
         name = spec.content_hash()
         if spec.backend != "reference":
             name += f".{spec.backend}"
@@ -370,10 +376,35 @@ class ExperimentRunner:
                 ",".join(spec.observers).encode("utf-8")
             ).hexdigest()[:12]
             name += f".obs-{digest}"
-        return self.cache_dir / f"{name}.json"
+        return name
 
-    def load_cached(self, spec: ScenarioSpec) -> Optional[Dict[str, Any]]:
-        path = self.cache_path(spec)
+    def path_for(self, spec: ScenarioSpec) -> Path:
+        return self.cache_dir / f"{self.key_for(spec)}.json"
+
+    def path_for_key(self, key: str) -> Path:
+        """Resolve a client-supplied cache key to its file, strictly.
+
+        Raises :class:`ExecutorError` unless the key is a plain
+        ``{hash}[.suffix...]`` stem -- path separators, ``..`` and anything
+        else that could escape the cache directory never match.
+        """
+        if key.endswith(".json"):
+            key = key[: -len(".json")]
+        if not _CACHE_KEY_RE.match(key):
+            raise ExecutorError(f"malformed cache key {key!r}")
+        return self.cache_dir / f"{key}.json"
+
+    @staticmethod
+    def backend_of_key(key: str) -> str:
+        """The backend a cache file stem belongs to (for stats breakdowns)."""
+        parts = key.split(".")
+        if len(parts) > 1 and not _NON_BACKEND_SUFFIX_RE.match(parts[1]):
+            return parts[1]
+        return "reference"
+
+    # -- read / write ---------------------------------------------------
+    def load(self, spec: ScenarioSpec) -> Optional[Dict[str, Any]]:
+        path = self.path_for(spec)
         try:
             payload = json.loads(path.read_text())
         except (OSError, ValueError):
@@ -397,18 +428,32 @@ class ExperimentRunner:
             return None
         return payload
 
+    def _tmp_path(self, path: Path) -> Path:
+        # The temp name must be unique per *write*, not just per process:
+        # two daemon threads storing the same spec share a pid, and with a
+        # pid-only suffix one thread's os.replace would steal (or race) the
+        # other's half-written file.  Keep the ``.tmp.`` infix so the
+        # ``clear()`` sweep glob still matches leftovers.
+        return path.with_suffix(f".tmp.{os.getpid()}-{uuid.uuid4().hex[:12]}")
+
     def store(self, spec: ScenarioSpec, payload: Dict[str, Any]) -> Path:
         self.cache_dir.mkdir(parents=True, exist_ok=True)
-        path = self.cache_path(spec)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        path = self.path_for(spec)
+        tmp = self._tmp_path(path)
         tmp.write_text(json.dumps(payload))
         os.replace(tmp, path)
         return path
 
-    def clear_cache(self) -> int:
+    # -- lifecycle ------------------------------------------------------
+    def entries(self) -> List[Path]:
+        if not self.cache_dir.is_dir():
+            return []
+        return sorted(self.cache_dir.glob("*.json"))
+
+    def clear(self) -> int:
         """Delete every cache entry; returns the number of files removed.
 
-        Also sweeps ``*.tmp.<pid>`` leftovers from interrupted writes.
+        Also sweeps ``*.tmp.*`` leftovers from interrupted writes.
         """
         removed = 0
         if self.cache_dir.is_dir():
@@ -418,6 +463,325 @@ class ExperimentRunner:
                     removed += 1
         return removed
 
+    def stats(self) -> Dict[str, Any]:
+        """Entry count, total bytes and a per-backend entry breakdown."""
+        by_backend: Dict[str, int] = {}
+        total_bytes = 0
+        count = 0
+        for entry in self.entries():
+            try:
+                total_bytes += entry.stat().st_size
+            except OSError:
+                continue  # pruned/replaced underneath us
+            count += 1
+            backend = self.backend_of_key(entry.name[: -len(".json")])
+            by_backend[backend] = by_backend.get(backend, 0) + 1
+        return {
+            "entries": count,
+            "total_bytes": total_bytes,
+            "by_backend": dict(sorted(by_backend.items())),
+        }
+
+    def prune(
+        self,
+        *,
+        older_than: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> Tuple[int, int]:
+        """Expire cache entries; returns ``(removed, freed_bytes)``.
+
+        ``older_than`` drops entries whose mtime is more than that many
+        seconds in the past; ``max_bytes`` then evicts least-recently
+        *written* entries (mtime order) until the directory fits.  Both the
+        CLI (``repro-experiments cache``) and the daemon's periodic janitor
+        use this, so a long-running service never grows without bound.
+        """
+        removed = 0
+        freed = 0
+        now = time.time() if now is None else now
+        survivors: List[Tuple[float, int, Path]] = []
+        for entry in self.entries():
+            try:
+                stat = entry.stat()
+            except OSError:
+                continue
+            if older_than is not None and now - stat.st_mtime > older_than:
+                try:
+                    entry.unlink()
+                except OSError:
+                    continue
+                removed += 1
+                freed += stat.st_size
+            else:
+                survivors.append((stat.st_mtime, stat.st_size, entry))
+        if max_bytes is not None:
+            survivors.sort()  # oldest mtime first == LRU-by-write
+            total = sum(size for _, size, _ in survivors)
+            for _, size, entry in survivors:
+                if total <= max_bytes:
+                    break
+                try:
+                    entry.unlink()
+                except OSError:
+                    continue
+                removed += 1
+                freed += size
+                total -= size
+        return removed, freed
+
+
+# ----------------------------------------------------------------------
+# The reusable sweep loop (CLI and daemon both drive this)
+# ----------------------------------------------------------------------
+@dataclass
+class SweepEvent:
+    """One progress notification from :func:`run_sweep`.
+
+    ``kind`` is ``"cached"`` (served from the cache), ``"start"`` (about to
+    execute), ``"executed"`` (result computed and stored) or ``"fallback"``
+    (the spec's backend could not run it and the reference backend answered
+    instead -- ``spec`` is then the reference spec and ``from_cache`` tells
+    whether the reference result was already cached).  ``index`` is the
+    spec's position in the ``specs`` sequence passed to ``run_sweep``.
+    """
+
+    kind: str
+    index: int
+    spec: ScenarioSpec
+    from_cache: bool = False
+    batched: bool = False
+
+
+#: Type of the optional ``run_sweep`` progress callback.
+SweepCallback = Callable[[SweepEvent], None]
+
+
+def _emit(on_event: Optional[SweepCallback], event: SweepEvent) -> None:
+    if on_event is not None:
+        on_event(event)
+
+
+def _run_batched_groups(
+    missing: List[Tuple[int, ScenarioSpec]],
+    outcomes: Dict[int, Tuple[Dict[str, Any], bool]],
+    batch: SweepStats,
+    cache: ResultCache,
+    use_cache: bool,
+    on_event: Optional[SweepCallback],
+) -> List[Tuple[int, ScenarioSpec]]:
+    """Execute batchable miss groups in lockstep; return the remainder.
+
+    Groups that fail to build (unsupported scenario on the vec backend)
+    fall through untouched so the per-run path can apply the reference
+    fallback policy spec by spec.
+    """
+    groups: Dict[Tuple, List[Tuple[int, ScenarioSpec]]] = {}
+    for index, spec in missing:
+        key = batch_key(spec)
+        # An unavailable backend (vec without numpy) skips batching so
+        # the per-run path raises its clear BackendUnavailableError.
+        if key is not None and backend_available(spec.backend):
+            groups.setdefault(key, []).append((index, spec))
+    handled = set()
+    for key, group in groups.items():
+        if len(group) < MIN_BATCH_SIZE:
+            continue
+        try:
+            payloads = execute_specs_batched([spec for _, spec in group])
+        except UnsupportedScenarioError:
+            continue
+        for (index, spec), payload in zip(group, payloads):
+            if use_cache:
+                cache.store(spec, payload)
+            outcomes[index] = (payload, False)
+            batch.executed += 1
+            batch.batched += 1
+            handled.add(index)
+            _emit(on_event, SweepEvent("executed", index, spec, batched=True))
+    return [(index, spec) for index, spec in missing if index not in handled]
+
+
+def _fallback_spec(
+    spec: ScenarioSpec,
+    reason: str,
+    cache: ResultCache,
+    use_cache: bool,
+    strict_backend: bool,
+) -> Tuple[Dict[str, Any], ScenarioSpec, bool]:
+    """Re-run an unsupported spec on the reference backend (or raise).
+
+    Returns ``(payload, reference_spec, from_cache)`` -- a repeated
+    sweep finds the earlier fallback result in the reference cache.
+    """
+    if strict_backend:
+        raise UnsupportedScenarioError(reason)
+    logger.warning(
+        "backend %r cannot run %s (%s); falling back to 'reference'",
+        spec.backend,
+        spec.label or spec.topology.name,
+        reason,
+    )
+    fallback = spec.with_backend("reference")
+    payload = cache.load(fallback) if use_cache else None
+    if payload is not None:
+        return payload, fallback, True
+    return execute_spec(fallback), fallback, False
+
+
+def run_sweep(
+    specs: Sequence[ScenarioSpec],
+    *,
+    cache: Optional[ResultCache] = None,
+    workers: int = 1,
+    use_cache: bool = True,
+    strict_backend: bool = False,
+    batching: bool = True,
+    on_event: Optional[SweepCallback] = None,
+) -> Tuple[List[ExperimentRun], SweepStats]:
+    """Run a batch of specs, preserving input order.
+
+    This is THE sweep loop -- cache probe, vector-batch grouping, pool
+    dispatch, reference fallback, cache store -- shared verbatim by the CLI
+    (:class:`ExperimentRunner`) and the sweep service daemon
+    (:mod:`repro.service`); neither forks its own copy.
+
+    Cache hits are served directly.  Of the misses, compatible specs on a
+    batchable backend (``vec``) run as lockstep vector batches in-process;
+    the rest execute inline (``workers == 1``) or on a ``multiprocessing``
+    pool.  Results are written back to the cache before returning.  When a
+    spec's backend raises :class:`UnsupportedScenarioError` it is re-run on
+    the ``reference`` backend with a logged warning unless
+    ``strict_backend`` makes that a hard error.
+
+    ``on_event`` receives a :class:`SweepEvent` per spec transition (cache
+    hit, execution start/finish, fallback), which is how the daemon streams
+    per-spec job progress and its JSONL telemetry without the loop knowing
+    anything about jobs.
+    """
+    if workers < 1:
+        raise ExecutorError(f"workers must be >= 1, got {workers}")
+    cache = cache if cache is not None else ResultCache()
+    started = time.perf_counter()
+    batch = SweepStats(total=len(specs))
+    outcomes: Dict[int, Tuple[Dict[str, Any], bool]] = {}
+    run_specs: Dict[int, ScenarioSpec] = {}
+    requested: Dict[int, str] = {}
+    missing: List[Tuple[int, ScenarioSpec]] = []
+    for index, spec in enumerate(specs):
+        payload = cache.load(spec) if use_cache else None
+        if payload is not None:
+            outcomes[index] = (payload, True)
+            batch.cached += 1
+            _emit(on_event, SweepEvent("cached", index, spec, from_cache=True))
+        else:
+            missing.append((index, spec))
+
+    if batching:
+        missing = _run_batched_groups(
+            missing, outcomes, batch, cache, use_cache, on_event
+        )
+
+    if missing:
+        for index, spec in missing:
+            _emit(on_event, SweepEvent("start", index, spec))
+        if workers > 1 and len(missing) > 1:
+            with multiprocessing.Pool(min(workers, len(missing))) as pool:
+                payloads = pool.map(
+                    _pool_worker, [spec.to_dict() for _, spec in missing]
+                )
+        else:
+            payloads = []
+            for _, spec in missing:
+                try:
+                    payloads.append(execute_spec(spec))
+                except UnsupportedScenarioError as exc:
+                    payloads.append({_UNSUPPORTED_KEY: str(exc)})
+        for (index, spec), payload in zip(missing, payloads):
+            from_cache = False
+            fell_back = False
+            if _UNSUPPORTED_KEY in payload:
+                payload, spec, from_cache = _fallback_spec(
+                    spec, payload[_UNSUPPORTED_KEY], cache, use_cache, strict_backend
+                )
+                run_specs[index] = spec
+                requested[index] = specs[index].backend
+                batch.fallbacks += 1
+                fell_back = True
+            if use_cache and not from_cache:
+                cache.store(spec, payload)
+            outcomes[index] = (payload, from_cache)
+            if from_cache:
+                batch.cached += 1
+            else:
+                batch.executed += 1
+            _emit(
+                on_event,
+                SweepEvent(
+                    "fallback" if fell_back else "executed",
+                    index,
+                    spec,
+                    from_cache=from_cache,
+                ),
+            )
+
+    batch.wall_time = time.perf_counter() - started
+    runs = [
+        _run_from_payload(
+            run_specs.get(index, specs[index]),
+            *outcomes[index],
+            requested_backend=requested.get(index),
+        )
+        for index in range(len(specs))
+    ]
+    return runs, batch
+
+
+class ExperimentRunner:
+    """Run specs with on-disk caching and an optional worker pool.
+
+    A thin, stateful driver of :func:`run_sweep`: it owns a
+    :class:`ResultCache` and default execution settings, and ``stats``
+    accumulates over the runner's lifetime; :meth:`run_all` also returns
+    the stats of that one batch.  See :func:`run_sweep` for the sweep
+    semantics (vector batching, reference fallback, ``strict_backend``).
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[os.PathLike] = None,
+        *,
+        workers: int = 1,
+        use_cache: bool = True,
+        strict_backend: bool = False,
+        batching: bool = True,
+    ):
+        if workers < 1:
+            raise ExecutorError(f"workers must be >= 1, got {workers}")
+        self.cache = ResultCache(cache_dir)
+        self.workers = workers
+        self.use_cache = use_cache
+        self.strict_backend = strict_backend
+        self.batching = batching
+        self.stats = SweepStats()
+
+    @property
+    def cache_dir(self) -> Path:
+        return self.cache.cache_dir
+
+    # -- cache (compatibility delegates to the ResultCache) -------------
+    def cache_path(self, spec: ScenarioSpec) -> Path:
+        return self.cache.path_for(spec)
+
+    def load_cached(self, spec: ScenarioSpec) -> Optional[Dict[str, Any]]:
+        return self.cache.load(spec)
+
+    def store(self, spec: ScenarioSpec, payload: Dict[str, Any]) -> Path:
+        return self.cache.store(spec, payload)
+
+    def clear_cache(self) -> int:
+        return self.cache.clear()
+
     # -- execution ------------------------------------------------------
     def run(self, spec: ScenarioSpec, *, workers: Optional[int] = None) -> ExperimentRun:
         return self.run_all([spec], workers=workers)[0][0]
@@ -425,138 +789,22 @@ class ExperimentRunner:
     def run_all(
         self, specs: Sequence[ScenarioSpec], *, workers: Optional[int] = None
     ) -> Tuple[List[ExperimentRun], SweepStats]:
-        """Run a batch of specs, preserving input order.
-
-        Cache hits are served directly.  Of the misses, compatible specs on
-        a batchable backend run as lockstep vector batches in-process; the
-        rest execute inline (``workers == 1``) or on a ``multiprocessing``
-        pool.  Results are written back to the cache before returning.
-        """
-        workers = self.workers if workers is None else workers
-        if workers < 1:
-            raise ExecutorError(f"workers must be >= 1, got {workers}")
-        started = time.perf_counter()
-        batch = SweepStats(total=len(specs))
-        outcomes: Dict[int, Tuple[Dict[str, Any], bool]] = {}
-        run_specs: Dict[int, ScenarioSpec] = {}
-        requested: Dict[int, str] = {}
-        missing: List[Tuple[int, ScenarioSpec]] = []
-        for index, spec in enumerate(specs):
-            payload = self.load_cached(spec) if self.use_cache else None
-            if payload is not None:
-                outcomes[index] = (payload, True)
-                batch.cached += 1
-            else:
-                missing.append((index, spec))
-
-        missing = self._run_batched(missing, outcomes, batch)
-
-        if missing:
-            if workers > 1 and len(missing) > 1:
-                with multiprocessing.Pool(min(workers, len(missing))) as pool:
-                    payloads = pool.map(
-                        _pool_worker, [spec.to_dict() for _, spec in missing]
-                    )
-            else:
-                payloads = []
-                for _, spec in missing:
-                    try:
-                        payloads.append(execute_spec(spec))
-                    except UnsupportedScenarioError as exc:
-                        payloads.append({_UNSUPPORTED_KEY: str(exc)})
-            for (index, spec), payload in zip(missing, payloads):
-                from_cache = False
-                if _UNSUPPORTED_KEY in payload:
-                    payload, spec, from_cache = self._fallback(
-                        spec, payload[_UNSUPPORTED_KEY]
-                    )
-                    run_specs[index] = spec
-                    requested[index] = specs[index].backend
-                    batch.fallbacks += 1
-                if self.use_cache and not from_cache:
-                    self.store(spec, payload)
-                outcomes[index] = (payload, from_cache)
-                if from_cache:
-                    batch.cached += 1
-                else:
-                    batch.executed += 1
-
-        batch.wall_time = time.perf_counter() - started
+        """Run a batch of specs through :func:`run_sweep`, preserving order."""
+        runs, batch = run_sweep(
+            specs,
+            cache=self.cache,
+            workers=self.workers if workers is None else workers,
+            use_cache=self.use_cache,
+            strict_backend=self.strict_backend,
+            batching=self.batching,
+        )
         self.stats.total += batch.total
         self.stats.cached += batch.cached
         self.stats.executed += batch.executed
         self.stats.batched += batch.batched
         self.stats.fallbacks += batch.fallbacks
         self.stats.wall_time += batch.wall_time
-        runs = [
-            _run_from_payload(
-                run_specs.get(index, specs[index]),
-                *outcomes[index],
-                requested_backend=requested.get(index),
-            )
-            for index in range(len(specs))
-        ]
         return runs, batch
-
-    def _run_batched(
-        self,
-        missing: List[Tuple[int, ScenarioSpec]],
-        outcomes: Dict[int, Tuple[Dict[str, Any], bool]],
-        batch: SweepStats,
-    ) -> List[Tuple[int, ScenarioSpec]]:
-        """Execute batchable miss groups in lockstep; return the remainder.
-
-        Groups that fail to build (unsupported scenario on the vec backend)
-        fall through untouched so the per-run path can apply the reference
-        fallback policy spec by spec.
-        """
-        if not self.batching:
-            return missing
-        groups: Dict[Tuple, List[Tuple[int, ScenarioSpec]]] = {}
-        for index, spec in missing:
-            key = batch_key(spec)
-            # An unavailable backend (vec without numpy) skips batching so
-            # the per-run path raises its clear BackendUnavailableError.
-            if key is not None and backend_available(spec.backend):
-                groups.setdefault(key, []).append((index, spec))
-        handled = set()
-        for key, group in groups.items():
-            if len(group) < MIN_BATCH_SIZE:
-                continue
-            try:
-                payloads = execute_specs_batched([spec for _, spec in group])
-            except UnsupportedScenarioError:
-                continue
-            for (index, spec), payload in zip(group, payloads):
-                if self.use_cache:
-                    self.store(spec, payload)
-                outcomes[index] = (payload, False)
-                batch.executed += 1
-                batch.batched += 1
-                handled.add(index)
-        return [(index, spec) for index, spec in missing if index not in handled]
-
-    def _fallback(
-        self, spec: ScenarioSpec, reason: str
-    ) -> Tuple[Dict[str, Any], ScenarioSpec, bool]:
-        """Re-run an unsupported spec on the reference backend (or raise).
-
-        Returns ``(payload, reference_spec, from_cache)`` -- a repeated
-        sweep finds the earlier fallback result in the reference cache.
-        """
-        if self.strict_backend:
-            raise UnsupportedScenarioError(reason)
-        logger.warning(
-            "backend %r cannot run %s (%s); falling back to 'reference'",
-            spec.backend,
-            spec.label or spec.topology.name,
-            reason,
-        )
-        fallback_spec = spec.with_backend("reference")
-        payload = self.load_cached(fallback_spec) if self.use_cache else None
-        if payload is not None:
-            return payload, fallback_spec, True
-        return execute_spec(fallback_spec), fallback_spec, False
 
 
 # ----------------------------------------------------------------------

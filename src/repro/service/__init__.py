@@ -1,0 +1,45 @@
+"""Long-running sweep service: job queue, worker pool, HTTP/JSON API.
+
+The one-shot :mod:`repro.experiments` executor already has everything a
+shared service needs -- content-hashed :class:`ScenarioSpec` identities, an
+on-disk result cache, parallel workers, backend fallback -- but as a CLI
+every user pays full simulation cost.  This package turns that machinery
+into a daemon that serves many clients from one cache:
+
+* :mod:`repro.service.core` -- :class:`SweepService`: a thread-safe job
+  store, a job queue drained by a worker pool that drives the *same*
+  :func:`repro.experiments.executor.run_sweep` loop as the CLI, and
+  per-cache-key single-flight coalescing, so identical specs submitted by
+  concurrent clients execute exactly once;
+* :mod:`repro.service.server` -- the stdlib ``ThreadingHTTPServer`` front
+  end (``POST /sweeps``, ``GET /jobs/{id}``, ``GET /results/{key}``,
+  ``GET /healthz``, ``GET /specs``).  The cache is the API: result payloads
+  are served byte-for-byte from the cache files, keyed by the spec content
+  hash plus its ``.{backend}`` / ``.s{k}`` / ``.notrace`` / ``.obs-{digest}``
+  observation suffixes;
+* :mod:`repro.service.client` -- a small ``urllib``-only client
+  (:class:`ServiceClient`) used by the tests, the CI smoke job and docs;
+* :mod:`repro.service.events` -- JSONL request/job telemetry
+  (:class:`JsonlLog`), so live sweep progress is ``tail -f``-able.
+
+Everything here is standard library only; the daemon must import and run
+on the no-numpy CI leg.  Start it with ``repro-experiments serve``.
+"""
+
+from .client import ClientError, ServiceClient
+from .core import Job, JobStore, ServiceConfig, ServiceError, SweepService
+from .events import JsonlLog
+from .server import SweepServer, build_server
+
+__all__ = [
+    "ClientError",
+    "Job",
+    "JobStore",
+    "JsonlLog",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SweepServer",
+    "SweepService",
+    "build_server",
+]

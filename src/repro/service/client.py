@@ -1,0 +1,182 @@
+"""A small stdlib-only client for the sweep service HTTP API.
+
+Used by the test suite, the CI smoke job and the docs; kept deliberately
+free of anything beyond ``urllib`` so it runs wherever the daemon does
+(including the no-numpy CI leg)::
+
+    from repro.experiments import scenario
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    job = client.submit([scenario("quickstart_line", n=4)])
+    job = client.wait(job["id"])
+    for entry in job["specs"]:
+        payload = client.result(entry["result_key"])
+        print(entry["label"], payload["summary"]["max_global_skew"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+from ..experiments.spec import ScenarioSpec
+
+
+class ClientError(RuntimeError):
+    """An HTTP-level failure talking to the sweep service.
+
+    ``status`` is the HTTP status code (``None`` for transport failures,
+    e.g. connection refused); ``payload`` is the decoded JSON error body
+    when the server sent one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: Optional[int] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class JobFailed(ClientError):
+    """Raised by :meth:`ServiceClient.wait` when the job ends ``failed``."""
+
+    def __init__(self, job: Dict[str, Any]):
+        super().__init__(f"job {job.get('id')} failed: {job.get('error')}")
+        self.job = job
+
+
+class ServiceClient:
+    """Talk to a running sweep service daemon."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> bytes:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                payload = {}
+            message = payload.get("error") or f"HTTP {exc.code} on {method} {path}"
+            raise ClientError(message, status=exc.code, payload=payload) from exc
+        except urllib.error.URLError as exc:
+            raise ClientError(
+                f"cannot reach sweep service at {self.base_url}: {exc.reason}"
+            ) from exc
+
+    def _json(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        return json.loads(self._request(method, path, body).decode("utf-8"))
+
+    # -- endpoints ------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def specs(self) -> Dict[str, Any]:
+        return self._json("GET", "/specs")
+
+    def submit(
+        self, specs: Iterable[Union[ScenarioSpec, Mapping[str, Any]]]
+    ) -> Dict[str, Any]:
+        """Submit explicit specs; returns the job payload (maybe done)."""
+        serialised: List[Dict[str, Any]] = []
+        for spec in specs:
+            serialised.append(
+                spec.to_dict() if isinstance(spec, ScenarioSpec) else dict(spec)
+            )
+        return self._json("POST", "/sweeps", {"specs": serialised})
+
+    def submit_grid(
+        self,
+        scenario: str,
+        grid: Optional[Mapping[str, Any]] = None,
+        base: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Submit a named scenario + grid; the server expands the product."""
+        return self._json(
+            "POST",
+            "/sweeps",
+            {"scenario": scenario, "grid": dict(grid or {}), "base": dict(base or {})},
+        )
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 300.0,
+        poll_interval: float = 0.1,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; raises :class:`JobFailed` on
+        failure and :class:`ClientError` on timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id)
+            if payload["state"] == "done":
+                return payload
+            if payload["state"] == "failed":
+                raise JobFailed(payload)
+            if time.monotonic() >= deadline:
+                raise ClientError(
+                    f"job {job_id} still {payload['state']} after {timeout}s"
+                )
+            time.sleep(poll_interval)
+
+    def result_bytes(self, result_key: str) -> bytes:
+        """The raw cache payload for a result key, byte-for-byte."""
+        return self._request("GET", f"/results/{result_key}")
+
+    def result(self, result_key: str) -> Dict[str, Any]:
+        return json.loads(self.result_bytes(result_key).decode("utf-8"))
+
+    # -- conveniences ---------------------------------------------------
+    def run(
+        self,
+        specs: Iterable[Union[ScenarioSpec, Mapping[str, Any]]],
+        *,
+        timeout: float = 300.0,
+    ) -> List[Dict[str, Any]]:
+        """Submit, wait and fetch: one result payload per spec, in order."""
+        job = self.submit(specs)
+        if job["state"] not in ("done", "failed"):
+            job = self.wait(job["id"], timeout=timeout)
+        if job["state"] == "failed":
+            raise JobFailed(job)
+        return [self.result(entry["result_key"]) for entry in job["specs"]]
+
+    def wait_until_ready(self, *, timeout: float = 30.0, poll_interval: float = 0.2):
+        """Block until ``/healthz`` answers (daemon startup helper)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except ClientError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll_interval)

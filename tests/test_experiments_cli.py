@@ -254,6 +254,74 @@ class TestCacheCommand:
         assert run_cli("cache", "--cache-dir", str(tmp_path), "--clear") == 0
         assert "removed 1" in capsys.readouterr().out
 
+    def test_cache_stats_line_includes_bytes_and_backend_breakdown(
+        self, tmp_path, capsys
+    ):
+        for backend in ("reference", "fast"):
+            run_cli(
+                "run",
+                "quickstart_line",
+                "--set",
+                "n=4",
+                "--set",
+                "sim.duration=4.0",
+                "--set",
+                f"backend={backend}",
+                "--cache-dir",
+                str(tmp_path),
+            )
+        capsys.readouterr()
+        assert run_cli("cache", "--cache-dir", str(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "2 cache entries" in out
+        assert "bytes" in out
+        assert "fast: 1" in out and "reference: 1" in out
+
+    def test_cache_prune_older_than_and_max_bytes(self, tmp_path, capsys):
+        import os
+        import time as time_mod
+
+        run_cli(
+            "run",
+            "quickstart_line",
+            "--set",
+            "n=4",
+            "--set",
+            "sim.duration=4.0",
+            "--cache-dir",
+            str(tmp_path),
+        )
+        capsys.readouterr()
+        # Fresh entry survives an age-based prune ...
+        assert run_cli(
+            "cache", "--cache-dir", str(tmp_path), "--prune-older-than", "3600"
+        ) == 0
+        assert "pruned 0" in capsys.readouterr().out
+        # ... an aged one does not.
+        (entry,) = list(tmp_path.glob("*.json"))
+        old = time_mod.time() - 7200
+        os.utime(entry, (old, old))
+        assert run_cli(
+            "cache", "--cache-dir", str(tmp_path), "--prune-older-than", "3600"
+        ) == 0
+        assert "pruned 1" in capsys.readouterr().out
+        # --max-bytes evicts down to the budget (0 = everything).
+        run_cli(
+            "run",
+            "quickstart_line",
+            "--set",
+            "n=4",
+            "--set",
+            "sim.duration=4.0",
+            "--cache-dir",
+            str(tmp_path),
+        )
+        capsys.readouterr()
+        assert run_cli("cache", "--cache-dir", str(tmp_path), "--max-bytes", "0") == 0
+        out = capsys.readouterr().out
+        assert "pruned 1" in out
+        assert "0 cache entries" in out
+
 
 class TestObserversAndTrace:
     """--observers / --trace flags of the streaming metrics pipeline (PR 5)."""

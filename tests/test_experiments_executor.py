@@ -230,3 +230,92 @@ class TestTraceNoneRuns:
         assert restored.trace == "none"
         assert restored.observers == ("global_skew",)
         assert restored.content_hash() == spec.content_hash()
+
+
+def _store_hammer(cache_dir, spec_payload, iterations):
+    """Cross-process stress worker: repeatedly rewrite one cache entry."""
+    from repro.experiments import ExperimentRunner, ScenarioSpec
+
+    runner = ExperimentRunner(cache_dir)
+    spec = ScenarioSpec.from_dict(spec_payload)
+    payload = runner.load_cached(spec)
+    for _ in range(iterations):
+        runner.store(spec, payload)
+
+
+class TestCacheConcurrency:
+    """Satellite coverage: the cache must survive concurrent writers --
+    threads sharing one daemon process and independent processes sharing
+    one directory -- without torn or corrupt JSON."""
+
+    def test_tmp_names_are_unique_per_write_and_sweepable(self, runner):
+        from repro.experiments import ResultCache
+
+        cache = ResultCache(runner.cache_dir)
+        spec = tiny_spec()
+        path = cache.path_for(spec)
+        names = {cache._tmp_path(path).name for _ in range(50)}
+        # A pid-only suffix gave every write in one process the SAME temp
+        # file; per-write tokens are what make two daemon threads storing
+        # the same spec safe.
+        assert len(names) == 50
+        import fnmatch
+
+        assert all(fnmatch.fnmatch(name, "*.tmp.*") for name in names)
+
+    def test_threaded_same_spec_stores_never_tear(self, runner):
+        import threading
+
+        spec = tiny_spec()
+        run = runner.run(spec)
+        payload = runner.load_cached(spec)
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(30):
+                    runner.store(spec, payload)
+            except OSError as exc:  # the pre-fix failure mode
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # The entry is intact and still a cache hit.
+        assert runner.load_cached(spec) == payload
+        # No leaked temp files.
+        assert list(runner.cache_dir.glob("*.tmp.*")) == []
+
+    def test_cross_process_runners_sharing_a_cache_dir(self, runner):
+        import multiprocessing
+
+        spec = tiny_spec()
+        runner.run(spec)  # seed the entry so workers have a payload
+        path = runner.cache_path(spec)
+        ctx = multiprocessing.get_context("spawn")
+        workers = [
+            ctx.Process(
+                target=_store_hammer,
+                args=(str(runner.cache_dir), spec.to_dict(), 25),
+            )
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        # Read concurrently with both writers: every observation must be
+        # complete, valid JSON (os.replace is atomic) -- never a torn file.
+        deadline_reads = 0
+        while any(worker.is_alive() for worker in workers) or deadline_reads < 5:
+            text = path.read_text()
+            parsed = json.loads(text)  # raises on torn/corrupt JSON
+            assert parsed["spec_hash"] == spec.content_hash()
+            if not any(worker.is_alive() for worker in workers):
+                deadline_reads += 1
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        assert runner.load_cached(spec) is not None
+        assert list(runner.cache_dir.glob("*.tmp.*")) == []

@@ -1,0 +1,240 @@
+"""End-to-end tests of the sweep service HTTP API and the stdlib client.
+
+A real ``ThreadingHTTPServer`` on an ephemeral localhost port, driven
+through :class:`repro.service.client.ServiceClient` -- the same path the
+CI smoke job and the docs walkthrough use.
+"""
+
+import json
+import threading
+
+import pytest
+
+import repro.experiments.executor as executor_mod
+from repro.experiments import scenario
+from repro.service import ServiceConfig, SweepServer, SweepService
+from repro.service.client import ClientError, JobFailed, ServiceClient
+
+TINY_SIM = {"duration": 4.0, "dt": 0.1}
+
+
+def tiny_spec(n=4, **overrides):
+    return scenario("quickstart_line", n=n, sim=dict(TINY_SIM), **overrides)
+
+
+@pytest.fixture
+def server(tmp_path):
+    service = SweepService(tmp_path / "cache", config=ServiceConfig(workers=4))
+    srv = SweepServer(service, "127.0.0.1", 0)
+    srv.start_background()
+    yield srv
+    srv.shutdown()
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.url, timeout=30.0)
+
+
+class TestHealthAndSpecs:
+    def test_healthz_reports_version_and_cache_format(self, client):
+        from repro import __version__
+        from repro.experiments.executor import CACHE_FORMAT_VERSION
+
+        payload = client.healthz()
+        assert payload["status"] == "ok"
+        assert payload["version"] == __version__
+        assert payload["cache_format_version"] == CACHE_FORMAT_VERSION
+        assert "cache" in payload and "jobs" in payload
+
+    def test_specs_lists_registry(self, client):
+        payload = client.specs()
+        names = {entry["name"] for entry in payload["scenarios"]}
+        assert "quickstart_line" in names
+        assert "line" in payload["topologies"]
+        backends = {entry["name"] for entry in payload["backends"]}
+        assert {"reference", "fast", "vec"} <= backends
+        observers = {entry["name"] for entry in payload["observers"]}
+        assert "global_skew" in observers
+
+
+class TestSubmitPollFetch:
+    def test_full_submit_poll_fetch_cycle(self, server, client):
+        spec = tiny_spec()
+        job = client.submit([spec])
+        assert job["state"] in ("queued", "running", "done")
+        job = client.wait(job["id"])
+        assert job["state"] == "done"
+        (entry,) = job["specs"]
+        assert entry["state"] == "done"
+        assert entry["spec_hash"] == spec.content_hash()
+        payload = client.result(entry["result_key"])
+        assert payload["spec_hash"] == spec.content_hash()
+        assert payload["summary"]["node_count"] == 4
+
+    def test_result_bytes_equal_on_disk_cache_payload(self, server, client):
+        job = client.wait(client.submit([tiny_spec()])["id"])
+        key = job["specs"][0]["result_key"]
+        disk = server.service.cache.path_for_key(key).read_bytes()
+        assert client.result_bytes(key) == disk
+
+    def test_resubmit_is_served_from_cache_without_executing(
+        self, server, client, monkeypatch
+    ):
+        spec = tiny_spec()
+        client.wait(client.submit([spec])["id"])
+
+        def boom(_spec):
+            raise AssertionError("resubmission must not execute")
+
+        monkeypatch.setattr(executor_mod, "execute_spec", boom)
+        job = client.submit([spec])
+        assert job["state"] == "done"
+        assert job["counts"]["cached"] == 1
+
+    def test_grid_submission_expands_server_side(self, client):
+        job = client.submit_grid(
+            "quickstart_line", grid={"n": [4, 5]}, base={"sim": dict(TINY_SIM)}
+        )
+        job = client.wait(job["id"])
+        assert job["total"] == 2
+        labels = {entry["label"] for entry in job["specs"]}
+        assert len(labels) == 2
+
+    def test_client_run_convenience_returns_payloads_in_order(self, client):
+        specs = [tiny_spec(n=4), tiny_spec(n=5)]
+        payloads = client.run(specs)
+        assert [p["summary"]["node_count"] for p in payloads] == [4, 5]
+
+    def test_eight_concurrent_http_clients_coalesce_to_one_execution(
+        self, server, client, monkeypatch
+    ):
+        calls = []
+        real = executor_mod.execute_spec
+
+        def counting(spec):
+            calls.append(spec.content_hash())
+            return real(spec)
+
+        monkeypatch.setattr(executor_mod, "execute_spec", counting)
+        spec = tiny_spec(n=6)
+        results = []
+        barrier = threading.Barrier(8)
+
+        def one_client():
+            own = ServiceClient(server.url, timeout=30.0)
+            barrier.wait()
+            job = own.submit([spec])
+            if job["state"] not in ("done", "failed"):
+                job = own.wait(job["id"])
+            results.append(job)
+
+        threads = [threading.Thread(target=one_client) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(results) == 8
+        assert all(job["state"] == "done" for job in results)
+        assert len(calls) == 1
+        assert server.service.counters["specs_executed"] == 1
+
+
+class TestErrorHandling:
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ClientError) as err:
+            client.job("deadbeef")
+        assert err.value.status == 404
+
+    def test_malformed_result_key_is_400(self, client):
+        with pytest.raises(ClientError) as err:
+            client.result_bytes("..%2Fetc%2Fpasswd")
+        assert err.value.status == 400
+
+    def test_unknown_result_key_is_404(self, client):
+        with pytest.raises(ClientError) as err:
+            client.result_bytes("ab" * 32)
+        assert err.value.status == 404
+
+    def test_invalid_spec_body_is_400(self, client):
+        with pytest.raises(ClientError) as err:
+            client._json("POST", "/sweeps", {"specs": [{"nonsense": True}]})
+        assert err.value.status == 400
+
+    def test_unknown_scenario_is_400(self, client):
+        with pytest.raises(ClientError) as err:
+            client.submit_grid("no_such_scenario", grid={"n": [4]})
+        assert err.value.status == 400
+        assert "no_such_scenario" in str(err.value)
+
+    def test_unknown_endpoint_is_404(self, client):
+        with pytest.raises(ClientError) as err:
+            client._json("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_failed_job_raises_jobfailed_with_payload(
+        self, server, client, monkeypatch
+    ):
+        def boom(_spec):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(executor_mod, "execute_spec", boom)
+        job = client.submit([tiny_spec(n=7)])
+        with pytest.raises(JobFailed) as err:
+            client.wait(job["id"])
+        assert "engine exploded" in err.value.job["error"]
+
+    def test_connection_refused_is_clienterror(self):
+        dead = ServiceClient("http://127.0.0.1:9", timeout=1.0)
+        with pytest.raises(ClientError) as err:
+            dead.healthz()
+        assert err.value.status is None
+
+
+class TestServeCli:
+    def test_serve_subcommand_runs_a_real_daemon(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        repo_src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+        log_file = tmp_path / "svc.jsonl"
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments",
+                "serve",
+                "--host",
+                "127.0.0.1",
+                "--port",
+                "0",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--log-file",
+                str(log_file),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            # The daemon prints its bound address (port 0 = ephemeral).
+            line = proc.stderr.readline()
+            assert "sweep service on" in line, line
+            url = line.strip().rsplit(" ", 1)[-1]
+            client = ServiceClient(url, timeout=10.0)
+            client.wait_until_ready(timeout=20.0)
+            payloads = client.run([tiny_spec()], timeout=60.0)
+            assert payloads[0]["summary"]["node_count"] == 4
+            assert log_file.is_file()
+            events = [
+                json.loads(l)["event"] for l in log_file.read_text().splitlines()
+            ]
+            assert "job_submitted" in events
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
