@@ -306,11 +306,20 @@ class SweepService:
                 f"of {self.config.max_specs_per_job}"
             )
         keys = [self.cache.key_for(spec) for spec in specs]
+        # Probe the cache *before* taking the service lock: ``load`` reads
+        # and JSON-parses the whole payload (traces included), and doing
+        # that for thousands of specs under the lock would serialize every
+        # concurrent submission and stall workers releasing leases.  The
+        # race this opens is benign -- a spec cached between probe and
+        # lease gets leased anyway and ``run_sweep``'s own probe serves it
+        # from cache without re-executing.
+        hits = [self.cache.load(spec) is not None for spec in specs]
         job = Job(uuid.uuid4().hex[:12], specs, keys)
+        enqueued = False
         with self._lock:
             leased_here = set()
             for index, (spec, key) in enumerate(zip(specs, keys)):
-                if self.cache.load(spec) is not None:
+                if hits[index]:
                     job.progress[index].update(state="cached", from_cache=True)
                 elif key in self._inflight:
                     job.followed[index] = self._inflight[key]
@@ -331,7 +340,16 @@ class SweepService:
                 1 for entry in job.progress if entry["state"] == "cached"
             )
             self.counters["specs_coalesced"] += len(job.followed)
-        self.jobs.add(job)
+            self.jobs.add(job)
+            # Enqueue under the same lock that created the leases so queue
+            # order matches lease-creation order.  If a follower could slip
+            # into the FIFO ahead of its owner, a worker would park in
+            # _await_followed on an event whose owner is still *behind* it
+            # in the queue -- a permanent deadlock with workers=1, and a
+            # whole-pool wedge once N followers outrun their owners.
+            if job.leased or job.followed:
+                self._queue.put(job)
+                enqueued = True
         self.log.write(
             "job_submitted",
             job=job.id,
@@ -340,11 +358,9 @@ class SweepService:
             coalesced=len(job.followed),
             leased=len(job.leased),
         )
-        if not job.leased and not job.followed:
+        if not enqueued:
             job._finalize()
             self.log.write("job_done", job=job.id, state=job.state, cached=True)
-        else:
-            self._queue.put(job)
         return job
 
     # -- workers --------------------------------------------------------

@@ -157,6 +157,54 @@ class TestCoalescing:
         hashes = {job.progress[0]["spec_hash"] for job in jobs}
         assert len(hashes) == len(specs)
 
+    def test_single_worker_concurrent_identical_submissions_complete(
+        self, tmp_path, execution_counter
+    ):
+        # Regression: leases were created under the service lock but the
+        # queue put happened after releasing it, so a follower job could be
+        # enqueued ahead of its owner.  With workers=1 that parks the only
+        # worker in _await_followed on an event whose owner is still behind
+        # it in the FIFO -- a permanent deadlock.
+        svc = SweepService(tmp_path / "cache", config=ServiceConfig(workers=1))
+        svc.start()
+        try:
+            spec = tiny_spec()
+            jobs = []
+            barrier = threading.Barrier(8)
+
+            def submit():
+                barrier.wait()
+                jobs.append(svc.submit([spec]))
+
+            threads = [threading.Thread(target=submit) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            for job in jobs:
+                wait_done(job)
+            assert all(job.state == "done" for job in jobs)
+            assert len(execution_counter) == 1
+            assert svc.counters["specs_executed"] == 1
+        finally:
+            svc.stop()
+
+    def test_enqueue_is_ordered_with_lease_creation(self, tmp_path):
+        # White-box guard for the same regression: the queue put must
+        # happen inside the critical section that created the job's
+        # leases, so FIFO order always matches lease-creation order.
+        svc = SweepService(tmp_path / "cache", config=ServiceConfig(workers=1))
+        locked_at_put = []
+        real_put = svc._queue.put
+
+        def recording_put(item):
+            locked_at_put.append(svc._lock.locked())
+            real_put(item)
+
+        svc._queue.put = recording_put
+        svc.submit([tiny_spec()])  # service not started: nothing drains
+        assert locked_at_put == [True]
+
     def test_coalesced_follower_reads_owner_result(self, service):
         spec = tiny_spec()
         jobs = [service.submit([spec]) for _ in range(3)]

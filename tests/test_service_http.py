@@ -167,6 +167,25 @@ class TestErrorHandling:
         assert err.value.status == 400
         assert "no_such_scenario" in str(err.value)
 
+    def test_malformed_content_length_is_400(self, server):
+        # A bogus Content-Length must come back as a JSON 400, not a
+        # dropped connection from an unhandled ValueError in the handler.
+        import http.client
+
+        host, port = server.address
+        for bogus in ("not-a-number", "-5"):
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                conn.putrequest("POST", "/sweeps")
+                conn.putheader("Content-Length", bogus)
+                conn.putheader("Content-Type", "application/json")
+                conn.endheaders()
+                resp = conn.getresponse()
+                assert resp.status == 400
+                assert "Content-Length" in json.loads(resp.read())["error"]
+            finally:
+                conn.close()
+
     def test_unknown_endpoint_is_404(self, client):
         with pytest.raises(ClientError) as err:
             client._json("GET", "/nope")
