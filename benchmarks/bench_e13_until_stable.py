@@ -1,0 +1,185 @@
+"""E13: ``--until-stable`` early-exit benchmark (writes BENCH_telemetry.json).
+
+Quantifies what the watchdog-driven early exit buys: a ``line_scaling`` run
+converges roughly a third of the way into its configured duration, so
+stopping at the convergence watchdog's firing should cut both the sample
+count and the wall-clock time by a large factor -- while the truncated
+observer report stays a bit-identical prefix of the full run's (the
+equivalence is asserted, not assumed).  Two modes:
+
+* default -- regenerate ``BENCH_telemetry.json``: full-vs-until-stable
+  timings per backend with sample counts and speedups;
+* ``--check`` -- the CI gate: assert the truncated run actually stopped
+  early, kept >= the minimum sample reduction, ran faster in wall-clock,
+  and produced the exact prefix report, exiting nonzero on violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import execute_spec, registry, scenario
+from repro.experiments.results import build_run_pipeline, trace_from_payload
+from repro.fastsim.backend import backend_available
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
+
+N = 6
+BACKENDS = ["reference", "fast"] + (["vec"] if backend_available("vec") else [])
+
+#: The truncated run must keep at most this fraction of the full samples
+#: (line_scaling n=6 converges around a third of the way in, so 50% is a
+#: comfortable margin, not a tight fit).
+MAX_SAMPLE_FRACTION = 0.5
+#: ... and at most this fraction of the full wall-clock time.  Generous on
+#: purpose: CI boxes are noisy, and the sample-fraction bar above is the
+#: sharp one (wall-clock tracks samples closely on every backend).
+MAX_WALL_FRACTION = 0.95
+
+
+def specs(backend: str):
+    full = scenario("line_scaling", n=N, backend=backend)
+    return full, full.with_until_stable()
+
+
+def timed_execute(spec):
+    start = time.perf_counter()
+    payload = execute_spec(spec)
+    return payload, time.perf_counter() - start
+
+
+def prefix_report_matches(backend: str, full_payload, truncated_payload) -> bool:
+    """Replay the full trace up to the stop time: must equal the truncated
+    report bit-for-bit (as canonical JSON)."""
+    stop_time = truncated_payload["observers"]["observers"][
+        "watchdog_convergence"
+    ]["first_fired"]
+    if stop_time is None:
+        return False
+    spec = specs(backend)[1]
+    built = registry.build_scenario(spec)
+    pipeline = build_run_pipeline(
+        spec,
+        graph=built.graph,
+        base_edges=built.base_edges,
+        config=built.config,
+        meta=built.meta,
+        global_skew_bound=built.global_skew_bound,
+    )
+    for sample in trace_from_payload(full_payload["trace"]):
+        if sample.time <= stop_time + 1e-12:
+            pipeline.observe_sample(sample)
+    restricted = pipeline.finalize().to_payload()
+    return json.dumps(restricted, sort_keys=True) == json.dumps(
+        truncated_payload["observers"], sort_keys=True
+    )
+
+
+def measure(backend: str) -> dict:
+    full_spec, stable_spec = specs(backend)
+    full, full_seconds = timed_execute(full_spec)
+    truncated, stable_seconds = timed_execute(stable_spec)
+    return {
+        "backend": backend,
+        "n": N,
+        "full_seconds": round(full_seconds, 4),
+        "until_stable_seconds": round(stable_seconds, 4),
+        "speedup": round(full_seconds / max(stable_seconds, 1e-9), 2),
+        "full_samples": full["observers"]["sample_count"],
+        "until_stable_samples": truncated["observers"]["sample_count"],
+        "stopped_early": truncated["stopped_early"],
+        "stop_time": truncated["observers"]["observers"][
+            "watchdog_convergence"
+        ]["first_fired"],
+        "prefix_bit_identical": prefix_report_matches(backend, full, truncated),
+    }
+
+
+def cmd_generate() -> int:
+    results = [measure(backend) for backend in BACKENDS]
+    payload = {
+        "benchmark": "until_stable_early_exit",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "config": {
+            "scenario": "line_scaling",
+            "n": N,
+            "max_sample_fraction": MAX_SAMPLE_FRACTION,
+            "max_wall_fraction": MAX_WALL_FRACTION,
+        },
+        "results": results,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    for entry in results:
+        print(
+            f"{entry['backend']}: {entry['full_seconds']}s -> "
+            f"{entry['until_stable_seconds']}s ({entry['speedup']}x), "
+            f"{entry['full_samples']} -> {entry['until_stable_samples']} samples, "
+            f"prefix identical: {entry['prefix_bit_identical']}"
+        )
+    return 0
+
+
+def cmd_check() -> int:
+    """CI gate: the early exit must be real, faster, and bit-identical."""
+    failures = []
+    for backend in BACKENDS:
+        entry = measure(backend)
+        print(
+            f"{backend}: full {entry['full_seconds']}s / "
+            f"{entry['full_samples']} samples, until-stable "
+            f"{entry['until_stable_seconds']}s / "
+            f"{entry['until_stable_samples']} samples "
+            f"(stop at t={entry['stop_time']})"
+        )
+        if not entry["stopped_early"]:
+            failures.append(f"{backend}: run did not stop early")
+        fraction = entry["until_stable_samples"] / max(entry["full_samples"], 1)
+        if fraction > MAX_SAMPLE_FRACTION:
+            failures.append(
+                f"{backend}: kept {fraction:.0%} of full samples "
+                f"(limit {MAX_SAMPLE_FRACTION:.0%})"
+            )
+        wall = entry["until_stable_seconds"] / max(entry["full_seconds"], 1e-9)
+        if wall > MAX_WALL_FRACTION:
+            failures.append(
+                f"{backend}: wall-clock fraction {wall:.0%} "
+                f"(limit {MAX_WALL_FRACTION:.0%})"
+            )
+        if not entry["prefix_bit_identical"]:
+            failures.append(
+                f"{backend}: truncated report is not a bit-identical prefix "
+                "of the full report"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("until-stable gate OK: early exit, faster, bit-identical prefix")
+    return 1 if failures else 0
+
+
+def test_e13_until_stable():
+    """Pytest smoke (scaled down): early exit + prefix equality on fast."""
+    entry = measure("fast")
+    assert entry["stopped_early"]
+    assert entry["until_stable_samples"] < entry["full_samples"]
+    assert entry["prefix_bit_identical"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert the early-exit contract instead of regenerating the JSON",
+    )
+    args = parser.parse_args()
+    return cmd_check() if args.check else cmd_generate()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -231,13 +231,44 @@ def _validate_specs(specs) -> None:
 
 
 def _apply_observation_flags(args: argparse.Namespace, overrides: Dict[str, Any]) -> None:
-    """Fold ``--observers`` / ``--trace`` into the pseudo-override mapping."""
+    """Fold ``--observers`` / ``--trace`` / ``--until-stable`` into the
+    pseudo-override mapping."""
     if getattr(args, "observers", None):
         overrides["observers"] = tuple(
             name.strip() for name in args.observers.split(",") if name.strip()
         )
     if getattr(args, "trace", None):
         overrides["trace"] = args.trace
+    if getattr(args, "until_stable", False):
+        overrides["until_stable"] = True
+
+
+class _Telemetry:
+    """Per-command telemetry wiring: ``--telemetry FILE`` or disabled.
+
+    Context manager so the JSONL file is flushed and closed even when the
+    sweep raises; ``emitter`` is ``None`` when the flag was not given.
+    """
+
+    def __init__(self, args: argparse.Namespace):
+        self._path = getattr(args, "telemetry", None)
+        self._log = None
+        self.emitter = None
+
+    def __enter__(self) -> "_Telemetry":
+        if self._path:
+            from ..telemetry import JsonlLog, SweepTelemetry
+
+            try:
+                self._log = JsonlLog(self._path)
+            except OSError as exc:
+                raise CliError(f"cannot open --telemetry file {self._path!r}: {exc}")
+            self.emitter = SweepTelemetry(self._log.write_record)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._log is not None:
+            self._log.close()
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -246,7 +277,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     spec = _check_user_input(registry.scenario, args.scenario, **overrides)
     _validate_specs([spec])
     runner = _make_runner(args)
-    runs, stats = runner.run_all([spec])
+    with _Telemetry(args) as telemetry:
+        runs, stats = runner.run_all([spec], telemetry=telemetry.emitter)
     _emit_runs(args, f"run: {spec.label or args.scenario}", runs, stats)
     return 0
 
@@ -260,7 +292,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     specs = _check_user_input(executor.expand_grid, args.scenario, grid, base=overrides)
     _validate_specs(specs)
     runner = _make_runner(args)
-    runs, stats = runner.run_all(specs)
+    with _Telemetry(args) as telemetry:
+        runs, stats = runner.run_all(specs, telemetry=telemetry.emitter)
     axes = " x ".join(f"{key}({len(values)})" for key, values in grid.items())
     _emit_runs(args, f"sweep: {args.scenario} over {axes}", runs, stats)
     return 0
@@ -433,7 +466,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         log_path = args.log_file
         if log_path is None:
             log_path = service.cache.cache_dir / "service.log.jsonl"
-        service.log = JsonlLog(None if log_path == "" else log_path)
+        service.log = JsonlLog(
+            None if log_path == "" else log_path, max_bytes=args.log_max_bytes
+        )
         server = SweepServer(service, host=args.host, port=args.port)
     except (ServiceError, OSError) as exc:
         raise CliError(str(exc)) from exc
@@ -493,6 +528,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="keep the full per-sample trace (default) or only the "
         "streaming observer report (constant memory in the duration)",
+    )
+    common.add_argument(
+        "--until-stable",
+        action="store_true",
+        help="stop each run at its stability point (convergence, or the "
+        "stabilization window after an insertion) instead of running the "
+        "full duration; results cache under a separate .stable key",
+    )
+    common.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FILE.jsonl",
+        help="stream structured JSONL events (run progress, watchdog "
+        "firings) to FILE while the sweep runs; tail -f friendly",
     )
     common.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
@@ -638,6 +687,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="JSONL request/job telemetry file (default: "
         "<cache-dir>/service.log.jsonl; pass '' to disable)",
+    )
+    serve_parser.add_argument(
+        "--log-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rotate the telemetry log to <file>.1 when it reaches N bytes "
+        "(default: grow without bound)",
     )
     serve_parser.add_argument(
         "--janitor-interval",

@@ -40,6 +40,8 @@ from .. import __version__ as _library_version
 from ..fastsim.backend import backend_available, get_backend
 from ..fastsim.engine import UnsupportedScenarioError
 from ..metrics import ObserverReport
+from ..telemetry.schema import sanitize_json
+from ..telemetry.sweep import SweepTelemetry
 from . import registry
 from .results import (
     RunSummary,
@@ -58,9 +60,12 @@ logger = logging.getLogger(__name__)
 #: same scenario are distinct cache entries that may never collide);
 #: version 3 added ``trace_stride`` to the key and the serialised spec;
 #: version 4 added the streaming ``observers`` report to the payload and
-#: made the trace optional (``trace: none`` runs cache ``"trace": null``).
-#: Stale version-3 entries are simply re-run and overwritten.
-CACHE_FORMAT_VERSION = 4
+#: made the trace optional (``trace: none`` runs cache ``"trace": null``);
+#: version 5 added ``until_stable`` to the serialised spec (with a
+#: ``.stable`` key suffix), the ``stopped_early`` flag to the payload, and
+#: strict-JSON serialisation (non-finite floats sanitised, ``allow_nan``
+#: off).  Stale entries are simply re-run and overwritten.
+CACHE_FORMAT_VERSION = 5
 
 #: Key under which a worker reports an unsupported-backend failure instead
 #: of raising (so one spec cannot poison a whole pool map).
@@ -117,7 +122,12 @@ def _meta_from_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     return meta
 
 
-def _attach_pipeline(spec: ScenarioSpec, scenario: "registry.MaterialisedScenario", engine):
+def _attach_pipeline(
+    spec: ScenarioSpec,
+    scenario: "registry.MaterialisedScenario",
+    engine,
+    telemetry_sink: Optional[Callable[..., None]] = None,
+):
     """Build the run's observer pipeline and hook it into the engine."""
     pipeline = build_run_pipeline(
         spec,
@@ -126,6 +136,7 @@ def _attach_pipeline(spec: ScenarioSpec, scenario: "registry.MaterialisedScenari
         config=scenario.config,
         meta=scenario.meta,
         global_skew_bound=scenario.global_skew_bound,
+        sink=telemetry_sink,
     )
     engine.configure_recording(pipeline, record_trace=spec.trace == "full")
     return pipeline
@@ -149,7 +160,12 @@ def _payload_for(
         global_skew_bound=scenario.global_skew_bound,
         engine=engine,
     )
-    return {
+    # Sanitized at the top level so the cached file is strict JSON even if
+    # a summary or meta value is ever non-finite (finite floats pass
+    # through bit-exact; ``ResultCache.store`` serialises with
+    # ``allow_nan=False`` so a regression fails loudly instead of writing
+    # an unparseable ``NaN`` token).
+    return sanitize_json({
         "format": CACHE_FORMAT_VERSION,
         "library_version": _library_version,
         "spec": spec.to_dict(),
@@ -160,10 +176,14 @@ def _payload_for(
         "observers": report.to_payload(),
         "trace": trace_to_payload(trace) if spec.trace == "full" else None,
         "wall_time": wall_time,
-    }
+        "stopped_early": bool(getattr(engine, "stopped_early", False)),
+    })
 
 
-def execute_spec(spec: ScenarioSpec) -> Dict[str, Any]:
+def execute_spec(
+    spec: ScenarioSpec,
+    telemetry_sink: Optional[Callable[..., None]] = None,
+) -> Dict[str, Any]:
     """Run one spec to completion and return the cacheable payload.
 
     The spec's ``backend`` field picks the engine (reference, fast or vec);
@@ -171,13 +191,17 @@ def execute_spec(spec: ScenarioSpec) -> Dict[str, Any]:
     derive from the backend-independent content hash.  Summaries come from
     the streaming observer pipeline, which every engine feeds during the
     run; with ``trace: none`` the run keeps no samples at all.
+
+    ``telemetry_sink`` (``sink(event_type, **fields)``) streams watchdog
+    firings and progress events live during the run; it only observes and
+    cannot change the payload.
     """
     started = time.perf_counter()
     scenario = registry.build_scenario(spec)
     engine = get_backend(spec.backend).build(
         scenario.graph, scenario.algorithm_factory, scenario.config
     )
-    pipeline = _attach_pipeline(spec, scenario, engine)
+    pipeline = _attach_pipeline(spec, scenario, engine, telemetry_sink)
     trace = engine.run(scenario.config.duration)
     report = pipeline.finalize()
     return _payload_for(
@@ -204,24 +228,32 @@ def batch_key(spec: ScenarioSpec) -> Optional[Tuple]:
     )
 
 
-def execute_specs_batched(specs: Sequence[ScenarioSpec]) -> List[Dict[str, Any]]:
+def execute_specs_batched(
+    specs: Sequence[ScenarioSpec],
+    telemetry_sinks: Optional[Sequence[Optional[Callable[..., None]]]] = None,
+) -> List[Dict[str, Any]]:
     """Run compatible vec specs as one lockstep batch (see ``batch_key``).
 
     Returns one payload per spec, bit-identical to :func:`execute_spec` of
     the same spec.  Raises :class:`UnsupportedScenarioError` if any spec
     cannot run on the vec backend -- callers group with ``batch_key`` and
-    fall back to per-run execution on failure.
+    fall back to per-run execution on failure.  ``telemetry_sinks``, when
+    given, pairs one (possibly ``None``) live sink with each spec.
     """
     from ..vecsim.engine import build_batch
 
     started = time.perf_counter()
+    if telemetry_sinks is None:
+        telemetry_sinks = [None] * len(specs)
     scenarios = [registry.build_scenario(spec) for spec in specs]
     context = build_batch(
         [(sc.graph, sc.algorithm_factory, sc.config) for sc in scenarios]
     )
     pipelines = [
-        _attach_pipeline(spec, sc, engine)
-        for spec, sc, engine in zip(specs, scenarios, context.engines)
+        _attach_pipeline(spec, sc, engine, sink)
+        for spec, sc, engine, sink in zip(
+            specs, scenarios, context.engines, telemetry_sinks
+        )
     ]
     context.run_until(scenarios[0].config.duration)
     wall_time = (time.perf_counter() - started) / max(len(specs), 1)
@@ -269,6 +301,10 @@ class ExperimentRun:
     #: executor fell back to ``reference`` (``spec.backend`` is then the
     #: backend that actually ran).
     requested_backend: Optional[str] = None
+    #: Whether an armed watchdog ended the run before the full duration
+    #: (``until_stable`` specs only; the report then covers the prefix up
+    #: to the trip sample).
+    stopped_early: bool = False
 
     @property
     def graph(self):
@@ -317,6 +353,7 @@ def _run_from_payload(
         from_cache=from_cache,
         wall_time=payload.get("wall_time", 0.0),
         requested_backend=requested_backend,
+        stopped_early=payload.get("stopped_early", False),
     )
 
 
@@ -329,9 +366,9 @@ def _run_from_payload(
 _CACHE_KEY_RE = re.compile(r"^[0-9a-f]{64}(\.[A-Za-z0-9_-]+)*$")
 
 #: Suffix tokens that are observation details rather than a backend name
-#: (see :meth:`ResultCache.key_for`): ``.s{k}`` strides, ``.notrace`` and
-#: ``.obs-{digest}`` selections.
-_NON_BACKEND_SUFFIX_RE = re.compile(r"^(s\d+|notrace|obs-[0-9a-f]+)$")
+#: (see :meth:`ResultCache.key_for`): ``.s{k}`` strides, ``.notrace``,
+#: ``.stable`` early exits and ``.obs-{digest}`` selections.
+_NON_BACKEND_SUFFIX_RE = re.compile(r"^(s\d+|notrace|stable|obs-[0-9a-f]+)$")
 
 
 class ResultCache:
@@ -359,10 +396,11 @@ class ResultCache:
         pre-backend cache entries are found, recognised as stale via the
         format version check, and overwritten instead of orphaned.
         Strided traces likewise get their own ``.s{k}`` suffix, traceless
-        runs a ``.notrace`` suffix, and non-default observer selections an
-        ``.obs-{digest}`` suffix -- all observation details are excluded
-        from the content hash (same scenario, same seeds) but their cached
-        results contain different payloads and must never collide.
+        runs a ``.notrace`` suffix, watchdog-truncated runs a ``.stable``
+        suffix, and non-default observer selections an ``.obs-{digest}``
+        suffix -- all observation details are excluded from the content
+        hash (same scenario, same seeds) but their cached results contain
+        different payloads and must never collide.
         """
         name = spec.content_hash()
         if spec.backend != "reference":
@@ -371,6 +409,8 @@ class ResultCache:
             name += f".s{spec.trace_stride}"
         if spec.trace != "full":
             name += ".notrace"
+        if spec.until_stable:
+            name += ".stable"
         if spec.observers:
             digest = hashlib.sha256(
                 ",".join(spec.observers).encode("utf-8")
@@ -426,6 +466,8 @@ class ResultCache:
             return None
         if tuple(payload.get("spec", {}).get("observers", ())) != spec.observers:
             return None
+        if payload.get("spec", {}).get("until_stable", False) != spec.until_stable:
+            return None
         return payload
 
     def _tmp_path(self, path: Path) -> Path:
@@ -440,7 +482,10 @@ class ResultCache:
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         path = self.path_for(spec)
         tmp = self._tmp_path(path)
-        tmp.write_text(json.dumps(payload))
+        # allow_nan=False: payloads are sanitized at build time, so a
+        # non-finite float reaching this point is a bug -- fail loudly
+        # rather than cache an unparseable NaN/Infinity token.
+        tmp.write_text(json.dumps(payload, allow_nan=False))
         os.replace(tmp, path)
         return path
 
@@ -569,6 +614,7 @@ def _run_batched_groups(
     cache: ResultCache,
     use_cache: bool,
     on_event: Optional[SweepCallback],
+    telemetry: Optional[SweepTelemetry] = None,
 ) -> List[Tuple[int, ScenarioSpec]]:
     """Execute batchable miss groups in lockstep; return the remainder.
 
@@ -587,9 +633,16 @@ def _run_batched_groups(
     for key, group in groups.items():
         if len(group) < MIN_BATCH_SIZE:
             continue
+        for index, spec in group:
+            _emit(on_event, SweepEvent("start", index, spec, batched=True))
+        sinks = None
+        if telemetry is not None:
+            sinks = [telemetry.run_sink(index, spec) for index, spec in group]
         try:
-            payloads = execute_specs_batched([spec for _, spec in group])
+            payloads = execute_specs_batched([spec for _, spec in group], sinks)
         except UnsupportedScenarioError:
+            if telemetry is not None:
+                telemetry.forget_live(*[index for index, _ in group])
             continue
         for (index, spec), payload in zip(group, payloads):
             if use_cache:
@@ -638,6 +691,7 @@ def run_sweep(
     strict_backend: bool = False,
     batching: bool = True,
     on_event: Optional[SweepCallback] = None,
+    telemetry: Optional[SweepTelemetry] = None,
 ) -> Tuple[List[ExperimentRun], SweepStats]:
     """Run a batch of specs, preserving input order.
 
@@ -656,14 +710,29 @@ def run_sweep(
 
     ``on_event`` receives a :class:`SweepEvent` per spec transition (cache
     hit, execution start/finish, fallback), which is how the daemon streams
-    per-spec job progress and its JSONL telemetry without the loop knowing
-    anything about jobs.
+    per-spec job progress without the loop knowing anything about jobs.
+
+    ``telemetry`` (a :class:`~repro.telemetry.SweepTelemetry`) additionally
+    streams the versioned JSONL event schema: sweep brackets, per-run
+    lifecycle events mapped from the same transitions, and ``watchdog_fired``
+    / ``progress`` events *live* from inside in-process runs (inline and
+    vector-batched executions get a per-run sink; pool workers, cache hits
+    and fallbacks cannot carry one, so their watchdog firings are replayed
+    from the result payload, flagged ``replayed``).
     """
     if workers < 1:
         raise ExecutorError(f"workers must be >= 1, got {workers}")
     cache = cache if cache is not None else ResultCache()
     started = time.perf_counter()
     batch = SweepStats(total=len(specs))
+    if telemetry is not None:
+        telemetry.sweep_started(len(specs))
+
+    def notify(event: SweepEvent) -> None:
+        _emit(on_event, event)
+        if telemetry is not None:
+            telemetry.on_sweep_event(event)
+
     outcomes: Dict[int, Tuple[Dict[str, Any], bool]] = {}
     run_specs: Dict[int, ScenarioSpec] = {}
     requested: Dict[int, str] = {}
@@ -673,18 +742,20 @@ def run_sweep(
         if payload is not None:
             outcomes[index] = (payload, True)
             batch.cached += 1
-            _emit(on_event, SweepEvent("cached", index, spec, from_cache=True))
+            notify(SweepEvent("cached", index, spec, from_cache=True))
+            if telemetry is not None:
+                telemetry.replay_watchdogs(index, spec, payload)
         else:
             missing.append((index, spec))
 
     if batching:
         missing = _run_batched_groups(
-            missing, outcomes, batch, cache, use_cache, on_event
+            missing, outcomes, batch, cache, use_cache, notify, telemetry
         )
 
     if missing:
         for index, spec in missing:
-            _emit(on_event, SweepEvent("start", index, spec))
+            notify(SweepEvent("start", index, spec))
         if workers > 1 and len(missing) > 1:
             with multiprocessing.Pool(min(workers, len(missing))) as pool:
                 payloads = pool.map(
@@ -692,10 +763,18 @@ def run_sweep(
                 )
         else:
             payloads = []
-            for _, spec in missing:
+            for index, spec in missing:
+                sink = None
+                if telemetry is not None:
+                    sink = telemetry.run_sink(index, spec)
                 try:
-                    payloads.append(execute_spec(spec))
+                    if sink is not None:
+                        payloads.append(execute_spec(spec, sink))
+                    else:
+                        payloads.append(execute_spec(spec))
                 except UnsupportedScenarioError as exc:
+                    if telemetry is not None:
+                        telemetry.forget_live(index)
                     payloads.append({_UNSUPPORTED_KEY: str(exc)})
         for (index, spec), payload in zip(missing, payloads):
             from_cache = False
@@ -715,17 +794,22 @@ def run_sweep(
                 batch.cached += 1
             else:
                 batch.executed += 1
-            _emit(
-                on_event,
+            notify(
                 SweepEvent(
                     "fallback" if fell_back else "executed",
                     index,
                     spec,
                     from_cache=from_cache,
-                ),
+                )
             )
+            if telemetry is not None:
+                # No-op for runs that streamed live; pool workers, fallback
+                # re-runs and late cache hits replay from the payload.
+                telemetry.replay_watchdogs(index, spec, payload)
 
     batch.wall_time = time.perf_counter() - started
+    if telemetry is not None:
+        telemetry.sweep_finished(batch)
     runs = [
         _run_from_payload(
             run_specs.get(index, specs[index]),
@@ -787,7 +871,11 @@ class ExperimentRunner:
         return self.run_all([spec], workers=workers)[0][0]
 
     def run_all(
-        self, specs: Sequence[ScenarioSpec], *, workers: Optional[int] = None
+        self,
+        specs: Sequence[ScenarioSpec],
+        *,
+        workers: Optional[int] = None,
+        telemetry: Optional[SweepTelemetry] = None,
     ) -> Tuple[List[ExperimentRun], SweepStats]:
         """Run a batch of specs through :func:`run_sweep`, preserving order."""
         runs, batch = run_sweep(
@@ -797,6 +885,7 @@ class ExperimentRunner:
             use_cache=self.use_cache,
             strict_backend=self.strict_backend,
             batching=self.batching,
+            telemetry=telemetry,
         )
         self.stats.total += batch.total
         self.stats.cached += batch.cached

@@ -590,19 +590,21 @@ def build_scenario(spec: ScenarioSpec) -> MaterialisedScenario:
 def scenario(name: str, **overrides: Any) -> ScenarioSpec:
     """Build the named scenario spec with builder-level overrides.
 
-    ``backend``, ``trace_stride``, ``trace`` and ``observers`` are accepted
-    as pseudo-overrides for every named scenario: they select execution and
-    observation details (engine backend, trace decimation, trace keeping,
-    streaming observer selection) without the individual builders having to
-    know about execution concerns, so the CLI can say ``--set backend=vec``,
-    sweep ``--grid backend=reference,fast,vec``, thin long traces with
-    ``--set trace_stride=10``, or run memory-bounded with
-    ``--set trace=none``.
+    ``backend``, ``trace_stride``, ``trace``, ``observers`` and
+    ``until_stable`` are accepted as pseudo-overrides for every named
+    scenario: they select execution and observation details (engine
+    backend, trace decimation, trace keeping, streaming observer
+    selection, watchdog early exit) without the individual builders having
+    to know about execution concerns, so the CLI can say ``--set
+    backend=vec``, sweep ``--grid backend=reference,fast,vec``, thin long
+    traces with ``--set trace_stride=10``, run memory-bounded with
+    ``--set trace=none``, or stop at stability with ``--until-stable``.
     """
     backend = overrides.pop("backend", None)
     trace_stride = overrides.pop("trace_stride", None)
     trace = overrides.pop("trace", None)
     observers = overrides.pop("observers", None)
+    until_stable = overrides.pop("until_stable", None)
     spec = SCENARIOS.get(name)(**overrides)
     if backend is not None:
         spec = replace(spec, backend=str(backend))
@@ -612,6 +614,10 @@ def scenario(name: str, **overrides: Any) -> ScenarioSpec:
         spec = replace(spec, trace=str(trace))
     if observers is not None:
         spec = replace(spec, observers=observers)
+    if until_stable is not None:
+        # No bool() coercion: the spec's own validation rejects non-bools
+        # (a stringly "yes" must fail loudly, not truthy its way in).
+        spec = replace(spec, until_stable=until_stable)
     return spec
 
 

@@ -77,16 +77,47 @@ class RunSummary:
         return cls(**{k: v for k, v in payload.items() if k in known})
 
 
-def build_run_pipeline(spec, *, graph, base_edges, config, meta, global_skew_bound):
+def stop_watchdog_for(spec, meta: Dict[str, Any]) -> str:
+    """Which watchdog an ``until_stable`` run arms as its stop trigger.
+
+    Insertion scenarios (``meta`` carries the event) wait for the
+    post-insertion stabilization window to close; everything else waits for
+    global-skew convergence (first halving of the initial skew).
+    """
+    if meta.get("insertion_time") is not None and meta.get("new_edge") is not None:
+        return "watchdog_stabilization"
+    return "watchdog_convergence"
+
+
+def build_run_pipeline(
+    spec, *, graph, base_edges, config, meta, global_skew_bound, sink=None
+):
     """The streaming pipeline for one materialised scenario.
 
     Observer selection comes from ``spec.observers`` (empty = the standard
     :data:`~repro.metrics.DEFAULT_OBSERVERS` set backing
     :class:`RunSummary`); the final sample time is predicted from the
     simulation config so steady-window observers stream in constant memory.
+
+    ``sink`` attaches a live telemetry sink (watchdog firings + periodic
+    ``progress`` events).  For ``spec.until_stable`` runs the appropriate
+    stop watchdog (see :func:`stop_watchdog_for`) is appended to the
+    selection if absent and armed as the early-exit trigger -- the engines
+    poll the pipeline's ``stop_requested`` after every step.
     """
+    names = tuple(spec.observers or DEFAULT_OBSERVERS)
+    stop_on = None
+    if spec.until_stable:
+        stop_on = stop_watchdog_for(spec, meta)
+        if stop_on not in names:
+            names = names + (stop_on,)
+    progress_every = None
+    if sink is not None:
+        # ~10 progress events per run, at least one sample apart.
+        expected = int(config.duration / max(config.sample_interval, config.dt))
+        progress_every = max(1, expected // 10)
     return build_pipeline(
-        spec.observers or DEFAULT_OBSERVERS,
+        names,
         graph=graph,
         base_edges=base_edges,
         params=config.params,
@@ -95,6 +126,9 @@ def build_run_pipeline(spec, *, graph, base_edges, config, meta, global_skew_bou
         has_dynamics=spec.dynamics is not None,
         duration=config.duration,
         dt=config.dt,
+        sink=sink,
+        stop_on=stop_on,
+        progress_every=progress_every,
     )
 
 

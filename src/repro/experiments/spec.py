@@ -132,6 +132,14 @@ class ScenarioSpec:
     #: of the observers that ran (see
     #: :meth:`repro.experiments.executor.ExperimentRunner.cache_path`).
     observers: Tuple[str, ...] = ()
+    #: Stop the run as soon as the convergence/stabilization watchdog trips
+    #: (``repro-experiments run --until-stable``).  Another observation
+    #: detail: excluded from :meth:`content_hash` (the truncated run
+    #: simulates the identical scenario -- its samples are a bit-identical
+    #: prefix of the full run's), but part of the result-cache key
+    #: (``.stable`` suffix) because the cached report covers a shorter
+    #: window.
+    until_stable: bool = False
     params: Dict[str, Any] = field(default_factory=dict)
     edge: Dict[str, Any] = field(default_factory=dict)
     sim: Dict[str, Any] = field(default_factory=dict)
@@ -173,6 +181,10 @@ class ScenarioSpec:
                 raise SpecError(
                     f"observer names must be non-empty strings, got {name!r}"
                 )
+        if not isinstance(self.until_stable, bool):
+            raise SpecError(
+                f"until_stable must be a bool, got {self.until_stable!r}"
+            )
         for forbidden in ("drift", "delay", "initial_logical", "params"):
             if forbidden in self.sim:
                 raise SpecError(
@@ -195,6 +207,7 @@ class ScenarioSpec:
             "trace_stride": self.trace_stride,
             "trace": self.trace,
             "observers": list(self.observers),
+            "until_stable": self.until_stable,
             "params": dict(self.params),
             "edge": dict(self.edge),
             "sim": dict(self.sim),
@@ -223,6 +236,7 @@ class ScenarioSpec:
             trace_stride=payload.get("trace_stride", 1),
             trace=payload.get("trace", "full"),
             observers=tuple(payload.get("observers", ())),
+            until_stable=payload.get("until_stable", False),
             params=dict(payload.get("params", {})),
             edge=dict(payload.get("edge", {})),
             sim=dict(payload.get("sim", {})),
@@ -234,20 +248,21 @@ class ScenarioSpec:
     def canonical(self) -> str:
         """Canonical JSON string of the spec (the hashing pre-image).
 
-        The ``backend``, ``trace_stride``, ``trace`` and ``observers``
-        fields are deliberately excluded: the content hash is the *scenario
-        identity* from which all randomness is seeded, and every backend
-        (and every trace stride / trace mode / observer selection) must
-        simulate the identical scenario so their results can be compared
-        (the result cache keys on hash, backend, stride, trace mode *and*
-        observer selection separately, see
-        :mod:`repro.experiments.executor`).
+        The ``backend``, ``trace_stride``, ``trace``, ``observers`` and
+        ``until_stable`` fields are deliberately excluded: the content hash
+        is the *scenario identity* from which all randomness is seeded, and
+        every backend (and every trace stride / trace mode / observer
+        selection / early-exit mode) must simulate the identical scenario
+        so their results can be compared (the result cache keys on hash,
+        backend, stride, trace mode, observer selection *and* early-exit
+        mode separately, see :mod:`repro.experiments.executor`).
         """
         payload = self.to_dict()
         payload.pop("backend", None)
         payload.pop("trace_stride", None)
         payload.pop("trace", None)
         payload.pop("observers", None)
+        payload.pop("until_stable", None)
         return canonical_json({"version": SPEC_FORMAT_VERSION, "spec": payload})
 
     def content_hash(self) -> str:
@@ -291,3 +306,7 @@ class ScenarioSpec:
         """Same scenario (same content hash, same seeds), different
         streaming observer selection."""
         return replace(self, observers=tuple(names))
+
+    def with_until_stable(self, until_stable: bool = True) -> "ScenarioSpec":
+        """Same scenario, stopping when the stability watchdog trips."""
+        return replace(self, until_stable=until_stable)

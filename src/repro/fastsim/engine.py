@@ -119,6 +119,8 @@ class FastEngine:
     _metrics = None
     #: Whether recorded samples are appended to ``self.trace``.
     _record_trace = True
+    #: Set when an armed watchdog stopped the run before ``end_time``.
+    stopped_early = False
 
     def __init__(
         self,
@@ -271,11 +273,21 @@ class FastEngine:
         return self.run_until(self.time + duration)
 
     def run_until(self, end_time: float) -> Trace:
-        """Advance the simulation until ``end_time`` (inclusive sampling)."""
+        """Advance the simulation until ``end_time`` (inclusive sampling).
+
+        Mirrors the reference engine's early exit: an armed watchdog in the
+        attached metrics pipeline ends the loop at the sample that tripped
+        it, the forced final sample is skipped, and the fed samples are a
+        bit-identical prefix of the full run's.
+        """
         if end_time < self.time - 1e-12:
             raise EngineError("cannot run backwards in time")
+        metrics = self._metrics
         while self.time < end_time - 1e-9:
             self.step()
+            if metrics is not None and metrics.stop_requested:
+                self.stopped_early = True
+                return self.trace
         self._record_sample(force=True)
         return self.trace
 

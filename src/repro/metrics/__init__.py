@@ -20,6 +20,11 @@ Layers:
   ``local_skew``, ``convergence_time``, ``mode_counts``,
   ``stabilization_window``, ``gradient_bound_check``, plus opt-in
   ``skew_by_distance``, ``max_estimate_lag``, ``edge_skew_histogram``);
+* :mod:`repro.metrics.watchdogs` -- live threshold monitors
+  (``watchdog_gradient_bound``, ``watchdog_global_skew``,
+  ``watchdog_convergence``, ``watchdog_stabilization``) that emit
+  structured telemetry events during the run and back the
+  ``--until-stable`` early exit;
 * :mod:`repro.metrics.pipeline` -- the per-run pipeline engines feed and the
   cacheable :class:`~repro.metrics.pipeline.ObserverReport` it produces.
 """
@@ -30,10 +35,12 @@ from .observers import (
     MetricsError,
     Observer,
     ObserverContext,
+    TelemetryChannel,
     make_observer,
     observer_names,
 )
 from .pipeline import MetricsPipeline, ObserverReport, build_pipeline
+from .watchdogs import WATCHDOG_NAMES, Watchdog, is_watchdog_name
 
 __all__ = [
     "DEFAULT_OBSERVERS",
@@ -43,7 +50,11 @@ __all__ = [
     "Observer",
     "ObserverContext",
     "ObserverReport",
+    "TelemetryChannel",
+    "WATCHDOG_NAMES",
+    "Watchdog",
     "build_pipeline",
+    "is_watchdog_name",
     "make_observer",
     "observer_names",
 ]

@@ -42,6 +42,39 @@ class MetricsError(ValueError):
     """Raised on invalid observer configuration or lookups."""
 
 
+class TelemetryChannel:
+    """The live side-channel watchdog observers write to.
+
+    One per :class:`ObserverContext` (so one per pipeline).  ``sink`` is an
+    optional callable ``sink(event_type, **fields)`` -- when attached (the
+    ``--telemetry`` path) every watchdog firing is emitted as a structured
+    event *during* the run; when absent the firings are still tallied in
+    ``fired`` and in each watchdog's own payload, so a cached result can
+    replay them later.  ``stop`` is the early-exit flag: a watchdog armed
+    via :meth:`~repro.metrics.pipeline.MetricsPipeline` ``stop_on`` sets it
+    and the engines' ``run_until`` loops poll it once per recorded sample.
+    """
+
+    __slots__ = ("sink", "stop", "fired")
+
+    def __init__(self):
+        self.sink: Optional[Callable[..., None]] = None
+        self.stop = False
+        self.fired: Dict[str, int] = {}
+
+    def emit(self, watchdog: str, time: float, value, threshold, **extra: Any) -> None:
+        self.fired[watchdog] = self.fired.get(watchdog, 0) + 1
+        if self.sink is not None:
+            self.sink(
+                "watchdog_fired",
+                watchdog=watchdog,
+                sim_time=time,
+                value=value,
+                threshold=threshold,
+                **extra,
+            )
+
+
 @dataclass
 class ObserverContext:
     """Everything an observer may need about the scenario being run.
@@ -59,6 +92,7 @@ class ObserverContext:
     has_dynamics: bool = False
     steady_fraction: float = 0.25
     steady_start: Optional[float] = None
+    channel: TelemetryChannel = field(default_factory=TelemetryChannel)
 
     @property
     def event_time(self) -> Optional[float]:

@@ -23,8 +23,9 @@ replays, and the differential suite proves the two agree on every backend).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple
 
+from ..telemetry.schema import sanitize_json
 from . import streaming
 from .observers import (
     DEFAULT_OBSERVERS,
@@ -50,7 +51,12 @@ class ObserverReport:
         return name in self.payloads
 
     def to_payload(self) -> Dict[str, Any]:
-        return {"sample_count": self.sample_count, "observers": dict(self.payloads)}
+        # Sanitized so the cached JSON is strict (no NaN/Infinity tokens)
+        # even if an observer ever produces a non-finite float; finite
+        # values pass through bit-exact.
+        return sanitize_json(
+            {"sample_count": self.sample_count, "observers": dict(self.payloads)}
+        )
 
     @classmethod
     def from_payload(cls, payload: Optional[Dict[str, Any]]) -> Optional["ObserverReport"]:
@@ -71,15 +77,44 @@ class MetricsPipeline:
         context: ObserverContext,
         *,
         predicted_final_time: Optional[float] = None,
+        progress_every: Optional[int] = None,
     ):
         self.observers = list(observers)
         self.context = context
         self.sample_count = 0
         self._predicted_final_time = predicted_final_time
+        self._progress_every = progress_every
         self._started = False
         self._dict_view: Optional[TraceSampleView] = None
         self._columns_view: Optional[ColumnsView] = None
         self._array_view: Optional[ArrayView] = None
+
+    # -- telemetry ------------------------------------------------------
+    def attach_sink(self, sink: Optional[Callable[..., None]]) -> None:
+        """Attach a live event sink (``sink(event_type, **fields)``).
+
+        Watchdog firings and periodic ``progress`` events flow to it as
+        the run executes; detaching (``None``) is always safe.  The sink
+        only ever observes -- attaching one cannot change any observer
+        value or the stop decision.
+        """
+        self.context.channel.sink = sink
+
+    @property
+    def stop_requested(self) -> bool:
+        """Whether an armed watchdog asked the engine to stop.
+
+        Only changes while a sample is being fed, so engines polling it
+        after each step see stop decisions at sample-record instants only
+        -- the invariant behind the bit-identical-prefix guarantee of
+        ``--until-stable``.
+        """
+        return self.context.channel.stop
+
+    @property
+    def watchdogs_fired(self) -> Dict[str, int]:
+        """Firing tallies per watchdog name (live, updates as the run goes)."""
+        return dict(self.context.channel.fired)
 
     # -- feeding --------------------------------------------------------
     def _begin(self, first_time: float) -> None:
@@ -96,6 +131,11 @@ class MetricsPipeline:
         self.sample_count += 1
         for observer in self.observers:
             observer.observe(view)
+        every = self._progress_every
+        if every and self.sample_count % every == 0:
+            sink = self.context.channel.sink
+            if sink is not None:
+                sink("progress", sim_time=view.time, samples=self.sample_count)
 
     def observe_sample(self, sample) -> None:
         """Consume one dict-shaped sample (``TraceSample`` or duck-typed)."""
@@ -163,6 +203,9 @@ def build_pipeline(
     duration: Optional[float] = None,
     dt: Optional[float] = None,
     steady_fraction: float = 0.25,
+    sink: Optional[Callable[..., None]] = None,
+    stop_on: Optional[str] = None,
+    progress_every: Optional[int] = None,
 ) -> MetricsPipeline:
     """Assemble a pipeline for one run.
 
@@ -171,6 +214,12 @@ def build_pipeline(
     predicted so steady-window observers can stream with constant memory;
     without them the pipeline still works but only :meth:`MetricsPipeline.replay`
     fills the steady window.
+
+    ``sink`` attaches a live telemetry sink (see
+    :meth:`MetricsPipeline.attach_sink`); ``stop_on`` names a watchdog in
+    ``names`` to arm as the early-exit trigger (its first firing sets
+    ``stop_requested``); ``progress_every`` emits a ``progress`` event to
+    the sink every N samples.
     """
     context = ObserverContext(
         graph=graph,
@@ -189,7 +238,22 @@ def build_pipeline(
             raise MetricsError(f"duplicate observer {name!r}")
         seen.add(name)
         observers.append(make_observer(name, context))
+    if stop_on is not None:
+        from .watchdogs import Watchdog
+
+        armed = next((o for o in observers if o.name == stop_on), None)
+        if armed is None:
+            raise MetricsError(
+                f"stop_on observer {stop_on!r} is not in the pipeline "
+                f"(selected: {', '.join(selected)})"
+            )
+        if not isinstance(armed, Watchdog):
+            raise MetricsError(f"stop_on observer {stop_on!r} is not a watchdog")
+        armed.arm_stop()
+    context.channel.sink = sink
     predicted = None
     if duration is not None and dt is not None:
         predicted = streaming.predict_final_time(duration, dt)
-    return MetricsPipeline(observers, context, predicted_final_time=predicted)
+    return MetricsPipeline(
+        observers, context, predicted_final_time=predicted, progress_every=progress_every
+    )

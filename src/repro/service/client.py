@@ -126,6 +126,11 @@ class ServiceClient:
     def job(self, job_id: str) -> Dict[str, Any]:
         return self._json("GET", f"/jobs/{job_id}")
 
+    def job_events(self, job_id: str, since: int = 0) -> Dict[str, Any]:
+        """Telemetry events for a job; pass the returned ``next`` as the
+        following ``since`` to read only new events."""
+        return self._json("GET", f"/jobs/{job_id}/events?since={int(since)}")
+
     def wait(
         self,
         job_id: str,

@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..experiments.executor import ResultCache, SweepEvent, run_sweep
 from ..experiments.spec import ScenarioSpec
+from ..telemetry.sweep import SweepTelemetry
 from .events import JsonlLog
 
 #: Job lifecycle states, in order.
@@ -42,6 +43,12 @@ JOB_STATES = ("queued", "running", "done", "failed")
 #: without executing here" states; ``queued -> running -> done|failed`` is the
 #: executing path.
 SPEC_STATES = ("queued", "running", "cached", "coalesced", "done", "failed")
+
+#: Telemetry events retained per job for ``GET /jobs/{id}/events``.  The
+#: buffer is a ring: old events are dropped but their positions stay
+#: addressable, so a ``?since=N`` cursor never re-reads or skips events
+#: unless it fell behind the ring (reported via ``dropped``).
+JOB_EVENT_BUFFER = 1000
 
 _SHUTDOWN = object()
 
@@ -126,6 +133,11 @@ class Job:
             }
             for index, (spec, key) in enumerate(zip(self.specs, self.keys))
         ]
+        #: Live telemetry ring for ``GET /jobs/{id}/events``.
+        self.events: List[Dict[str, Any]] = []
+        #: Events dropped off the front of the ring == stream index of
+        #: ``events[0]``.
+        self.events_dropped = 0
 
     # -- snapshots ------------------------------------------------------
     def spec_counts(self) -> Dict[str, int]:
@@ -149,11 +161,39 @@ class Job:
                 "specs": [dict(entry) for entry in self.progress],
             }
 
+    def events_payload(self, since: int = 0) -> Dict[str, Any]:
+        """The ``GET /jobs/{id}/events?since=N`` body.
+
+        ``since`` is a cursor into the job's event stream (0 = from the
+        beginning); pass the returned ``next`` on the following poll to read
+        only new events.  ``dropped`` counts events that aged out of the
+        ring before being read.
+        """
+        with self._lock:
+            first = self.events_dropped
+            cursor = max(int(since), first)
+            window = self.events[cursor - first :]
+            return {
+                "job": self.id,
+                "since": cursor,
+                "next": first + len(self.events),
+                "dropped": first,
+                "events": [dict(event) for event in window],
+            }
+
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job reaches a terminal state."""
         return self._done.wait(timeout)
 
     # -- mutation (service-internal) ------------------------------------
+    def _record_event(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self.events.append(record)
+            overflow = len(self.events) - JOB_EVENT_BUFFER
+            if overflow > 0:
+                del self.events[:overflow]
+                self.events_dropped += overflow
+
     def _update_spec(self, index: int, **fields: Any) -> Dict[str, Any]:
         with self._lock:
             self.progress[index].update(fields)
@@ -246,7 +286,12 @@ class SweepService:
             "specs_coalesced": 0,
             "specs_executed": 0,
             "specs_failed": 0,
+            "watchdogs_fired": 0,
         }
+        #: Live watchdog firings by watchdog name (replays of cached
+        #: results are excluded -- the same cached run would otherwise be
+        #: counted once per cache hit).
+        self.watchdog_counts: Dict[str, int] = {}
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> "SweepService":
@@ -313,7 +358,8 @@ class SweepService:
         # race this opens is benign -- a spec cached between probe and
         # lease gets leased anyway and ``run_sweep``'s own probe serves it
         # from cache without re-executing.
-        hits = [self.cache.load(spec) is not None for spec in specs]
+        probes = [self.cache.load(spec) for spec in specs]
+        hits = [payload is not None for payload in probes]
         job = Job(uuid.uuid4().hex[:12], specs, keys)
         enqueued = False
         with self._lock:
@@ -358,6 +404,15 @@ class SweepService:
             coalesced=len(job.followed),
             leased=len(job.leased),
         )
+        # Cache-served specs never reach a worker, so their watchdog
+        # firings are replayed into the job's event stream here (flagged
+        # ``replayed``; live counters are untouched).  Coalesced specs'
+        # events appear on the job that owns the execution.
+        if any(hits):
+            telemetry = self._telemetry_for(job)
+            for index, (spec, payload) in enumerate(zip(specs, probes)):
+                if payload is not None:
+                    telemetry.replay_watchdogs(index, spec, payload)
         if not enqueued:
             job._finalize()
             self.log.write("job_done", job=job.id, state=job.state, cached=True)
@@ -389,6 +444,21 @@ class SweepService:
                 1 for entry in job.progress if entry["state"] == "failed"
             )
         self.log.write("job_done", job=job.id, state=job.state, error=job.error)
+
+    def _telemetry_for(self, job: Job) -> SweepTelemetry:
+        """A sweep telemetry emitter fanning out to the service log, the
+        job's event ring and the live watchdog counters."""
+
+        def fan_out(record: Dict[str, Any]) -> None:
+            self.log.write_record(record)
+            job._record_event(record)
+            if record.get("event") == "watchdog_fired" and not record.get("replayed"):
+                name = str(record.get("watchdog") or "unknown")
+                with self._lock:
+                    self.counters["watchdogs_fired"] += 1
+                    self.watchdog_counts[name] = self.watchdog_counts.get(name, 0) + 1
+
+        return SweepTelemetry(fan_out)
 
     def _execute_leased(self, job: Job) -> None:
         indices = list(job.leased)
@@ -426,6 +496,7 @@ class SweepService:
                 strict_backend=self.config.strict_backend,
                 batching=self.config.batching,
                 on_event=on_event,
+                telemetry=self._telemetry_for(job),
             )
             job.stats = {
                 "total": stats.total,
@@ -490,6 +561,7 @@ class SweepService:
     # -- janitor --------------------------------------------------------
     def run_janitor_once(self) -> Tuple[int, int]:
         """Apply the configured prune policy once; returns (removed, bytes)."""
+        self.log.rotate_if_over()
         removed, freed = self.cache.prune(
             older_than=self.config.prune_older_than,
             max_bytes=self.config.max_cache_bytes,
@@ -513,6 +585,7 @@ class SweepService:
 
         with self._lock:
             counters = dict(self.counters)
+            watchdogs = dict(self.watchdog_counts)
         return {
             "status": "ok",
             "version": __version__,
@@ -522,5 +595,6 @@ class SweepService:
             "sweep_workers": self.config.sweep_workers,
             "jobs": self.jobs.counts(),
             "counters": counters,
+            "watchdogs": watchdogs,
             "cache": dict(self.cache.stats(), dir=str(self.cache.cache_dir)),
         }

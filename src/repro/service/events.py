@@ -1,72 +1,10 @@
-"""JSONL request/job telemetry for the sweep service.
+"""Compatibility shim: the JSONL event log now lives in ``repro.telemetry``.
 
-One JSON object per line, flushed per event, guarded by a lock so the HTTP
-threads, the worker pool and the janitor can all log without interleaving.
-The format is deliberately boring -- ``{"ts": ..., "event": ..., ...}`` --
-so live sweep progress is a ``tail -f`` away and downstream tooling can
-consume it without a parser beyond ``json.loads`` per line.
+PR 7 generalized the service-private ``JsonlLog`` into the shared
+telemetry transport (strict JSON, schema stamping, size-capped rotation);
+import from :mod:`repro.telemetry` going forward.
 """
 
-from __future__ import annotations
+from ..telemetry.events import JsonlLog
 
-import json
-import threading
-import time
-from pathlib import Path
-from typing import Any, IO, Optional, Union
-
-
-class JsonlLog:
-    """Append-only JSON-lines event log (thread-safe, stdlib-only).
-
-    ``target`` may be a path (opened in append mode, parent directories
-    created), an open text stream, or ``None`` to disable logging entirely
-    -- callers just call :meth:`write` unconditionally.
-    """
-
-    def __init__(self, target: Union[None, str, Path, IO[str]] = None):
-        self._lock = threading.Lock()
-        self._handle: Optional[IO[str]] = None
-        self._owns_handle = False
-        self.path: Optional[Path] = None
-        if target is None:
-            return
-        if isinstance(target, (str, Path)):
-            self.path = Path(target)
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = self.path.open("a", encoding="utf-8")
-            self._owns_handle = True
-        else:
-            self._handle = target
-
-    @property
-    def enabled(self) -> bool:
-        return self._handle is not None
-
-    def write(self, event: str, **fields: Any) -> None:
-        """Emit one event line; silently drops unserialisable fields."""
-        if self._handle is None:
-            return
-        record = {"ts": round(time.time(), 3), "event": event}
-        record.update(fields)
-        try:
-            line = json.dumps(record, sort_keys=True, default=str)
-        except (TypeError, ValueError):
-            line = json.dumps({"ts": record["ts"], "event": event})
-        with self._lock:
-            try:
-                self._handle.write(line + "\n")
-                self._handle.flush()
-            except (OSError, ValueError):
-                # A vanished disk or a closed stream must never take the
-                # service down with it; telemetry is best-effort.
-                pass
-
-    def close(self) -> None:
-        with self._lock:
-            if self._handle is not None and self._owns_handle:
-                try:
-                    self._handle.close()
-                except OSError:
-                    pass
-            self._handle = None
+__all__ = ["JsonlLog"]

@@ -8,6 +8,9 @@ POST    ``/sweeps``         submit specs (or a scenario + grid); returns the
                             job payload (``202``), fully-cached submissions
                             come back already ``done``
 GET     ``/jobs/{id}``      job status: state, per-spec progress, sweep stats
+GET     ``/jobs/{id}/events``  the job's live telemetry events (schema-stamped
+                            JSONL records as a JSON list; ``?since=N`` resumes
+                            from a cursor returned as ``next``)
 GET     ``/results/{key}``  the raw cache file for a result key, byte-for-byte
                             (the key is the spec content hash plus its
                             ``.{backend}``/``.s{k}``/``.notrace``/
@@ -26,6 +29,7 @@ block the API.  Responses are JSON everywhere, errors are
 from __future__ import annotations
 
 import json
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
@@ -154,19 +158,28 @@ class _Handler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, ValueError) as exc:
             raise _HttpError(400, f"request body is not valid JSON: {exc}")
 
-    def _route(self) -> Tuple[str, Optional[str]]:
+    def _route(self) -> Tuple[str, Optional[str], Optional[str]]:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         parts = [part for part in path.split("/") if part]
-        if len(parts) == 1:
-            return parts[0], None
-        if len(parts) == 2:
-            return parts[0], parts[1]
+        if 1 <= len(parts) <= 3:
+            head, tail, sub = (parts + [None, None])[:3]
+            return head, tail, sub
         raise _HttpError(404, f"no such endpoint: {path}")
+
+    def _query_int(self, name: str, default: int = 0) -> int:
+        query = urllib.parse.parse_qs(urllib.parse.urlsplit(self.path).query)
+        raw = query.get(name, [None])[-1]
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise _HttpError(400, f"query parameter {name!r} must be an integer")
 
     # -- verbs ----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         try:
-            head, tail = self._route()
+            head, tail, sub = self._route()
             if head == "healthz" and tail is None:
                 self._send_json(200, self.service.describe())
             elif head == "specs" and tail is None:
@@ -175,8 +188,14 @@ class _Handler(BaseHTTPRequestHandler):
                 job = self.service.jobs.get(tail)
                 if job is None:
                     raise _HttpError(404, f"unknown job {tail!r}")
-                self._send_json(200, job.to_payload())
-            elif head == "results" and tail:
+                if sub is None:
+                    self._send_json(200, job.to_payload())
+                elif sub == "events":
+                    since = self._query_int("since", 0)
+                    self._send_json(200, job.events_payload(since))
+                else:
+                    raise _HttpError(404, f"no such endpoint: {self.path}")
+            elif head == "results" and tail and sub is None:
                 self._send_result(tail)
             else:
                 raise _HttpError(404, f"no such endpoint: {self.path}")
@@ -185,8 +204,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         try:
-            head, tail = self._route()
-            if head != "sweeps" or tail is not None:
+            head, tail, sub = self._route()
+            if head != "sweeps" or tail is not None or sub is not None:
                 raise _HttpError(404, f"no such endpoint: {self.path}")
             specs = _parse_submission(self._read_body())
             try:

@@ -116,6 +116,8 @@ class Engine:
     _metrics = None
     #: Whether recorded samples are appended to ``self.trace``.
     _record_trace = True
+    #: Set when an armed watchdog stopped the run before ``end_time``.
+    stopped_early = False
 
     def __init__(
         self,
@@ -220,11 +222,23 @@ class Engine:
         return self.run_until(self.time + duration)
 
     def run_until(self, end_time: float) -> Trace:
-        """Advance the simulation until ``end_time`` (inclusive sampling)."""
+        """Advance the simulation until ``end_time`` (inclusive sampling).
+
+        If the attached metrics pipeline has an armed watchdog (the
+        ``--until-stable`` path), the loop exits as soon as the pipeline
+        requests a stop.  The flag only changes while a sample is being
+        recorded, so the stop lands exactly on a sample instant; the forced
+        final sample is skipped, leaving the samples fed so far a
+        bit-identical prefix of the full run's.
+        """
         if end_time < self.time - 1e-12:
             raise EngineError("cannot run backwards in time")
+        metrics = self._metrics
         while self.time < end_time - 1e-9:
             self.step()
+            if metrics is not None and metrics.stop_requested:
+                self.stopped_early = True
+                return self.trace
         self._record_sample(force=True)
         return self.trace
 

@@ -1,0 +1,160 @@
+"""Thread-safe JSONL event sinks (the transport half of ``repro.telemetry``).
+
+:class:`JsonlLog` is the one writer every telemetry producer shares -- the
+sweep service's daemon log, the CLI's ``--telemetry FILE`` stream, and the
+in-memory buffers behind ``GET /jobs/{id}/events`` all funnel through it.
+Three properties are load-bearing:
+
+* **Strict JSON.**  Every record passes through
+  :func:`~repro.telemetry.schema.sanitize_json` and is serialised with
+  ``allow_nan=False``, so a stray ``float("nan")`` from an observer can
+  never smuggle the non-JSON ``NaN`` token into the stream.
+* **No torn lines.**  One lock guards the whole serialise-write-flush of a
+  record, so daemon worker threads, HTTP handler threads and the janitor
+  can share one log and a ``tail -f`` reader still sees whole JSON objects.
+* **Bounded size.**  An optional ``max_bytes`` cap rotates the file to a
+  single ``.1`` sibling (``sweep.jsonl`` -> ``sweep.jsonl.1``) once it
+  grows past the cap -- checked opportunistically on write and on the
+  service janitor's cadence via :meth:`rotate_if_over` -- so a long-lived
+  daemon cannot fill the disk with telemetry.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, IO, Optional, Union
+
+from .schema import EVENT_SCHEMA_VERSION, sanitize_json
+
+
+class JsonlLog:
+    """Append-only JSON-lines event log (thread-safe, stdlib-only).
+
+    ``target`` may be a path (opened in append mode, parent directories
+    created), an open text stream, or ``None`` to disable logging entirely
+    -- callers just call :meth:`write` unconditionally.  ``max_bytes``
+    (paths only) caps the file size via rotation to ``<name>.1``.
+    """
+
+    def __init__(
+        self,
+        target: Union[None, str, Path, IO[str]] = None,
+        *,
+        max_bytes: Optional[int] = None,
+    ):
+        self._lock = threading.Lock()
+        self._handle: Optional[IO[str]] = None
+        self._owns_handle = False
+        self._written = 0
+        self.path: Optional[Path] = None
+        self.max_bytes = max_bytes
+        if target is None:
+            return
+        if isinstance(target, (str, Path)):
+            self.path = Path(target)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+            self._owns_handle = True
+            try:
+                self._written = self.path.stat().st_size
+            except OSError:
+                self._written = 0
+        else:
+            self._handle = target
+
+    @property
+    def enabled(self) -> bool:
+        return self._handle is not None
+
+    def write(self, event: str, **fields: Any) -> None:
+        """Emit one schema-stamped event line; never raises."""
+        if self._handle is None:
+            return
+        record = {
+            "ts": round(time.time(), 3),
+            "schema": EVENT_SCHEMA_VERSION,
+            "event": event,
+        }
+        record.update(fields)
+        self.write_record(record)
+
+    def write_record(self, record: Any) -> None:
+        """Emit one pre-built record as a single strict-JSON line."""
+        if self._handle is None:
+            return
+        try:
+            line = json.dumps(
+                sanitize_json(record), sort_keys=True, allow_nan=False, default=str
+            )
+        except (TypeError, ValueError):
+            fallback = {
+                "ts": round(time.time(), 3),
+                "schema": EVENT_SCHEMA_VERSION,
+                "event": record.get("event", "unknown") if isinstance(record, dict) else "unknown",
+            }
+            line = json.dumps(fallback, sort_keys=True)
+        with self._lock:
+            self._rotate_locked()
+            try:
+                self._handle.write(line + "\n")
+                self._handle.flush()
+                self._written += len(line) + 1
+            except (OSError, ValueError):
+                # A vanished disk or a closed stream must never take the
+                # service down with it; telemetry is best-effort.
+                pass
+
+    # -- rotation -------------------------------------------------------
+    def rotate_if_over(self) -> bool:
+        """Rotate now if over the cap (the janitor's hook); returns whether."""
+        with self._lock:
+            return self._rotate_locked()
+
+    def _rotate_locked(self) -> bool:
+        # Caller holds the lock.  Streams and uncapped logs never rotate.
+        if (
+            self.max_bytes is None
+            or self.path is None
+            or self._handle is None
+            or self._written < self.max_bytes
+        ):
+            return False
+        try:
+            self._handle.close()
+            self.path.replace(self.path.with_name(self.path.name + ".1"))
+            self._handle = self.path.open("a", encoding="utf-8")
+            self._written = 0
+        except OSError:
+            # Rotation failing (e.g. read-only dir) must not kill logging;
+            # reopen best-effort and keep appending to the oversized file.
+            try:
+                self._handle = self.path.open("a", encoding="utf-8")
+            except OSError:
+                self._handle = None
+            return False
+        record = {
+            "ts": round(time.time(), 3),
+            "schema": EVENT_SCHEMA_VERSION,
+            "event": "log_rotated",
+            "max_bytes": self.max_bytes,
+        }
+        line = json.dumps(record, sort_keys=True, allow_nan=False)
+        try:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self._written += len(line) + 1
+        except (OSError, ValueError):
+            pass
+        return True
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None and self._owns_handle:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+            self._handle = None

@@ -771,6 +771,11 @@ class VecEngine(FastEngine):
 
     # -- trace recording ------------------------------------------------
     def _record_sample(self, force: bool = False) -> None:
+        # A stopped engine is frozen: the batch may keep stepping for its
+        # peers, but nothing more is recorded or fed here, so the truncated
+        # trace/report is exactly the prefix up to the watchdog trip.
+        if self.stopped_early:
+            return
         if not force and self.time + 1e-12 < self._next_sample_time:
             return
         cols = self._cols
@@ -792,6 +797,8 @@ class VecEngine(FastEngine):
             self._metrics.observe_arrays(
                 self.time, cols.ids, cols.index, cols.logical, cols.max_estimate, cols.mode
             )
+            if self._metrics.stop_requested:
+                self.stopped_early = True
         if not force:
             self._next_sample_time = self.time + self.trace.sample_interval
 
@@ -940,15 +947,27 @@ class VecContext:
 
     # -- stepping -------------------------------------------------------
     def run_until(self, end_time: float) -> List[Trace]:
-        """Advance every engine until ``end_time`` (inclusive sampling)."""
+        """Advance every engine until ``end_time`` (inclusive sampling).
+
+        An engine whose armed watchdog trips is *frozen* (its
+        ``_record_sample`` becomes a no-op) while the batch keeps stepping
+        for its peers; once every engine in the batch has stopped the loop
+        exits early.  Stopped engines skip the forced final sample, so each
+        truncated trace/report is a bit-identical prefix of its full run.
+        """
         if end_time < self.time - 1e-12:
             raise EngineError("cannot run backwards in time")
+        engines = self.engines
         while self.time < end_time - 1e-9:
             self._step()
-        for engine in self.engines:
+            if all(engine.stopped_early for engine in engines):
+                break
+        for engine in engines:
+            if engine.stopped_early:
+                continue
             engine.time = self.time
             engine._record_sample(force=True)
-        return [engine.trace for engine in self.engines]
+        return [engine.trace for engine in engines]
 
     def _step(self) -> None:
         t = self.time

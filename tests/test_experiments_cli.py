@@ -432,3 +432,71 @@ class TestObserversAndTrace:
         payload = json.loads(capsys.readouterr().out)
         (entry,) = payload["results"]
         assert entry["fast_peak_tracemalloc_bytes"] > 0
+
+
+class TestTelemetryFlags:
+    def test_run_until_stable_with_telemetry_stream(self, tmp_path, capsys):
+        from repro.telemetry import iter_jsonl, validate_jsonl
+
+        stream = tmp_path / "events.jsonl"
+        assert run_cli(
+            "run", "line_scaling", "--set", "n=5",
+            "--until-stable",
+            "--telemetry", str(stream),
+            "--cache-dir", str(tmp_path / "cache"),
+            "--json",
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["spec"]["until_stable"] is True
+        assert validate_jsonl(stream) >= 4
+        kinds = [r["event"] for r in iter_jsonl(stream)]
+        assert kinds[0] == "sweep_started"
+        assert kinds[-1] == "sweep_finished"
+        assert "watchdog_fired" in kinds
+
+    def test_sweep_telemetry_covers_cache_hits(self, tmp_path, capsys):
+        from repro.telemetry import iter_jsonl
+
+        cache = tmp_path / "cache"
+        assert run_cli(
+            "sweep", "line_scaling", "--grid", "n=4,5",
+            "--until-stable", "--cache-dir", str(cache),
+        ) == 0
+        capsys.readouterr()
+        stream = tmp_path / "cached.jsonl"
+        assert run_cli(
+            "sweep", "line_scaling", "--grid", "n=4,5",
+            "--until-stable", "--cache-dir", str(cache),
+            "--telemetry", str(stream),
+        ) == 0
+        assert "2 from cache" in capsys.readouterr().out
+        records = list(iter_jsonl(stream))
+        cached = [r for r in records if r["event"] == "run_finished"]
+        assert all(r["state"] == "cached" for r in cached)
+
+    def test_telemetry_creates_missing_parent_directories(
+        self, tmp_path, capsys
+    ):
+        from repro.telemetry import validate_jsonl
+
+        stream = tmp_path / "no" / "such" / "dir" / "x.jsonl"
+        assert run_cli(
+            "run", "quickstart_line", "--set", "n=4",
+            "--telemetry", str(stream),
+            "--cache-dir", str(tmp_path / "cache"),
+        ) == 0
+        capsys.readouterr()
+        assert validate_jsonl(stream) >= 4
+
+    def test_until_stable_caches_separately_from_full_runs(
+        self, tmp_path, capsys
+    ):
+        cache = tmp_path / "cache"
+        args = ("run", "line_scaling", "--set", "n=4",
+                "--cache-dir", str(cache))
+        assert run_cli(*args) == 0
+        capsys.readouterr()
+        assert run_cli(*args, "--until-stable") == 0
+        assert "1 executed" in capsys.readouterr().out
+        assert run_cli(*args, "--until-stable") == 0
+        assert "1 from cache" in capsys.readouterr().out

@@ -37,9 +37,9 @@ def execution_counter(monkeypatch):
     calls = []
     real = executor_mod.execute_spec
 
-    def counting(spec):
+    def counting(spec, *args, **kwargs):
         calls.append(spec.content_hash())
-        return real(spec)
+        return real(spec, *args, **kwargs)
 
     monkeypatch.setattr(executor_mod, "execute_spec", counting)
     return calls
@@ -218,7 +218,7 @@ class TestCoalescing:
 
 class TestFailurePaths:
     def test_failing_spec_fails_job_and_releases_lease(self, service, monkeypatch):
-        def boom(spec):
+        def boom(spec, *args, **kwargs):
             raise RuntimeError("engine exploded")
 
         monkeypatch.setattr(executor_mod, "execute_spec", boom)
@@ -237,7 +237,7 @@ class TestFailurePaths:
         # One worker: the follower job queues behind the owner job.
         svc = SweepService(tmp_path / "cache", config=ServiceConfig(workers=1))
 
-        def boom(spec):
+        def boom(spec, *args, **kwargs):
             raise RuntimeError("engine exploded")
 
         monkeypatch.setattr(executor_mod, "execute_spec", boom)

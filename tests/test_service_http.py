@@ -112,9 +112,9 @@ class TestSubmitPollFetch:
         calls = []
         real = executor_mod.execute_spec
 
-        def counting(spec):
+        def counting(spec, *args, **kwargs):
             calls.append(spec.content_hash())
-            return real(spec)
+            return real(spec, *args, **kwargs)
 
         monkeypatch.setattr(executor_mod, "execute_spec", counting)
         spec = tiny_spec(n=6)
@@ -194,7 +194,7 @@ class TestErrorHandling:
     def test_failed_job_raises_jobfailed_with_payload(
         self, server, client, monkeypatch
     ):
-        def boom(_spec):
+        def boom(_spec, *args, **kwargs):
             raise RuntimeError("engine exploded")
 
         monkeypatch.setattr(executor_mod, "execute_spec", boom)
@@ -257,3 +257,74 @@ class TestServeCli:
         finally:
             proc.terminate()
             proc.wait(timeout=10)
+
+
+class TestJobEvents:
+    def test_events_endpoint_streams_schema_valid_records(self, server, client):
+        from repro.telemetry import validate_records
+
+        spec = scenario("line_scaling", n=5, until_stable=True)
+        job = client.wait(client.submit([spec])["id"])
+        payload = client.job_events(job["id"])
+        assert payload["job"] == job["id"]
+        assert payload["events"], "a live execution must buffer events"
+        validate_records(payload["events"])
+        kinds = {e["event"] for e in payload["events"]}
+        assert {"sweep_started", "run_started", "run_finished",
+                "watchdog_fired", "sweep_finished"} <= kinds
+        fired = [e for e in payload["events"] if e["event"] == "watchdog_fired"]
+        assert fired[0]["watchdog"] == "watchdog_convergence"
+        assert not fired[0].get("replayed")
+
+    def test_since_cursor_resumes_without_rereading(self, server, client):
+        job = client.wait(client.submit([tiny_spec()])["id"])
+        first = client.job_events(job["id"])
+        assert first["next"] == len(first["events"])
+        second = client.job_events(job["id"], since=first["next"])
+        assert second["events"] == []
+        assert second["next"] == first["next"]
+        # A cursor mid-stream returns exactly the suffix.
+        middle = client.job_events(job["id"], since=1)
+        assert middle["events"] == first["events"][1:]
+
+    def test_cached_submission_replays_watchdog_events(self, server, client):
+        from repro.telemetry import validate_records
+
+        spec = scenario("line_scaling", n=5, until_stable=True)
+        client.wait(client.submit([spec])["id"])
+        cached_job = client.submit([spec])
+        assert cached_job["state"] == "done"
+        payload = client.job_events(cached_job["id"])
+        validate_records(payload["events"])
+        fired = [e for e in payload["events"] if e["event"] == "watchdog_fired"]
+        assert fired and all(e["replayed"] is True for e in fired)
+
+    def test_healthz_exposes_watchdog_counters(self, server, client):
+        spec = scenario("line_scaling", n=5, until_stable=True)
+        before = client.healthz()
+        assert "watchdogs_fired" in before["counters"]
+        client.wait(client.submit([spec])["id"])
+        after = client.healthz()
+        assert after["counters"]["watchdogs_fired"] == 1
+        assert after["watchdogs"] == {"watchdog_convergence": 1}
+        # A cache-served resubmission must not inflate the live counters.
+        client.submit([spec])
+        again = client.healthz()
+        assert again["counters"]["watchdogs_fired"] == 1
+
+    def test_events_for_unknown_job_is_404(self, client):
+        with pytest.raises(ClientError) as err:
+            client.job_events("nope")
+        assert err.value.status == 404
+
+    def test_bad_since_is_400(self, server, client):
+        job = client.wait(client.submit([tiny_spec()])["id"])
+        with pytest.raises(ClientError) as err:
+            client._json("GET", f"/jobs/{job['id']}/events?since=abc")
+        assert err.value.status == 400
+
+    def test_unknown_job_subresource_is_404(self, server, client):
+        job = client.wait(client.submit([tiny_spec()])["id"])
+        with pytest.raises(ClientError) as err:
+            client._json("GET", f"/jobs/{job['id']}/nope")
+        assert err.value.status == 404

@@ -1,0 +1,210 @@
+"""The telemetry event layer: strict JSON, schema validation, JsonlLog.
+
+Everything here is stdlib-only by design -- this file is part of the
+no-numpy CI leg's coverage of ``repro.telemetry``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.metrics import build_pipeline
+from repro.metrics.pipeline import ObserverReport
+from repro.telemetry import (
+    EVENT_SCHEMA_VERSION,
+    JsonlLog,
+    TelemetryError,
+    iter_jsonl,
+    make_event,
+    sanitize_json,
+    validate_event,
+    validate_jsonl,
+    validate_records,
+)
+
+
+class TestSanitizeJson:
+    def test_nan_becomes_null(self):
+        assert sanitize_json(float("nan")) is None
+
+    def test_infinities_become_sentinels(self):
+        assert sanitize_json(float("inf")) == "Infinity"
+        assert sanitize_json(float("-inf")) == "-Infinity"
+
+    def test_nested_structures_and_tuples(self):
+        value = {
+            "a": [1.0, float("nan"), (float("inf"), "x")],
+            "b": {"c": float("-inf")},
+        }
+        assert sanitize_json(value) == {
+            "a": [1.0, None, ["Infinity", "x"]],
+            "b": {"c": "-Infinity"},
+        }
+
+    def test_finite_values_pass_through(self):
+        value = {"x": 1.5, "y": [0, True, None, "s"]}
+        assert sanitize_json(value) == value
+
+    def test_output_is_strictly_serialisable(self):
+        dirty = {"worst": [float("nan"), float("inf"), {"k": float("-inf")}]}
+        json.dumps(sanitize_json(dirty), allow_nan=False)  # must not raise
+
+
+class TestEventSchema:
+    def test_make_event_stamps_envelope(self):
+        record = make_event("sweep_started", total=3)
+        assert record["schema"] == EVENT_SCHEMA_VERSION
+        assert record["event"] == "sweep_started"
+        assert record["total"] == 3
+        assert isinstance(record["ts"], float)
+        validate_event(record)
+
+    def test_make_event_sanitizes_fields(self):
+        record = make_event("progress", run=0, sim_time=float("nan"), samples=1)
+        assert record["sim_time"] is None
+        validate_event(record)
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(TelemetryError):
+            make_event("no_such_event")
+        with pytest.raises(TelemetryError):
+            validate_event({"ts": 1.0, "schema": EVENT_SCHEMA_VERSION, "event": "nope"})
+
+    def test_missing_required_field_rejected(self):
+        record = make_event("run_started", run=0, spec_hash="abc", backend="fast")
+        del record["spec_hash"]
+        with pytest.raises(TelemetryError):
+            validate_event(record)
+
+    def test_wrong_schema_version_rejected(self):
+        record = make_event("sweep_started", total=1)
+        record["schema"] = EVENT_SCHEMA_VERSION + 1
+        with pytest.raises(TelemetryError):
+            validate_event(record)
+
+    def test_validate_records_reports_position(self):
+        good = make_event("sweep_started", total=1)
+        with pytest.raises(TelemetryError):
+            validate_records([good, {"not": "an event"}])
+
+
+class TestObserverReportStrictness:
+    def test_to_payload_sanitizes_non_finite_floats(self):
+        report = ObserverReport(
+            sample_count=1,
+            payloads={"broken": {"v": float("nan"), "w": float("inf")}},
+        )
+        payload = report.to_payload()
+        assert payload["observers"]["broken"] == {"v": None, "w": "Infinity"}
+        json.dumps(payload, allow_nan=False)  # must not raise
+
+    def test_live_pipeline_report_is_strict(self):
+        from repro.network import topology
+
+        pipeline = build_pipeline(
+            ("global_skew",), graph=topology.line(3), duration=1.0, dt=0.5
+        )
+        json.dumps(pipeline.finalize().to_payload(), allow_nan=False)
+
+
+class TestJsonlLog:
+    def test_disabled_log_swallows_writes(self):
+        log = JsonlLog(None)
+        assert not log.enabled
+        log.write("service_start")  # no-op, must not raise
+        log.close()
+
+    def test_write_produces_schema_valid_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = JsonlLog(path)
+        log.write("sweep_started", total=2)
+        log.write("progress", run=0, sim_time=1.5, samples=3)
+        log.close()
+        assert validate_jsonl(path) == 2
+
+    def test_non_finite_fields_never_break_the_stream(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = JsonlLog(path)
+        log.write("progress", run=0, sim_time=float("nan"), samples=1)
+        log.write_record(
+            make_event("watchdog_fired", run=0, watchdog="w",
+                       sim_time=0.0, value=float("inf"), threshold=1.0)
+        )
+        log.close()
+        records = list(iter_jsonl(path))
+        assert records[0]["sim_time"] is None
+        assert records[1]["value"] == "Infinity"
+        validate_records(records)
+
+    def test_unserialisable_record_degrades_to_stub_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = JsonlLog(path)
+        log.write("http", client=object())  # default=str handles this
+        log.close()
+        (record,) = list(iter_jsonl(path))
+        assert record["event"] == "http"
+
+    def test_rotation_caps_file_size(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = JsonlLog(path, max_bytes=600)
+        for i in range(50):
+            log.write("progress", run=0, sim_time=float(i), samples=i)
+        log.close()
+        rotated = path.with_name(path.name + ".1")
+        assert rotated.exists()
+        assert path.stat().st_size <= 600 + 1024  # one record of slack
+        # Both generations hold valid JSONL; the fresh file leads with the
+        # rotation marker.
+        records = list(iter_jsonl(path))
+        validate_records(records)
+        assert records[0]["event"] == "log_rotated"
+        validate_records(list(iter_jsonl(rotated)))
+
+    def test_concurrent_writers_never_tear_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = JsonlLog(path)
+        threads, writes = 8, 200
+        barrier = threading.Barrier(threads)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            for i in range(writes):
+                log.write("progress", run=worker, sim_time=float(i), samples=i)
+
+        pool = [threading.Thread(target=hammer, args=(w,)) for w in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        log.close()
+        records = list(iter_jsonl(path))  # raises on any torn line
+        assert len(records) == threads * writes
+        validate_records(records)
+        per_worker = {}
+        for record in records:
+            per_worker.setdefault(record["run"], []).append(record["samples"])
+        # Each writer's records appear in its own program order.
+        for samples in per_worker.values():
+            assert samples == sorted(samples)
+
+    def test_iter_jsonl_rejects_bare_nan_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ts": 1.0, "schema": 1, "event": "progress", "v": NaN}\n')
+        with pytest.raises(ValueError):
+            list(iter_jsonl(path))
+
+    def test_reopened_log_counts_existing_bytes_toward_rotation(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        first = JsonlLog(path)
+        for i in range(20):
+            first.write("progress", run=0, sim_time=float(i), samples=i)
+        first.close()
+        size = path.stat().st_size
+        second = JsonlLog(path, max_bytes=size)  # already at the cap
+        second.write("progress", run=0, sim_time=99.0, samples=99)
+        second.close()
+        assert path.with_name(path.name + ".1").exists()
