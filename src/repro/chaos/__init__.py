@@ -1,0 +1,69 @@
+"""repro.chaos: declarative fault injection for the sweep pipeline.
+
+The chaos pack has four moving parts:
+
+* :mod:`repro.chaos.faults` -- the composable fault dynamics
+  (``correlated_mass_churn``, ``partition_then_heal``, ``crash_restart``;
+  the fourth family member, :class:`repro.sim.delay.DelaySpikeStorm`, is a
+  delay model).  The experiments registry wraps them as ordinary DYNAMICS /
+  DELAYS entries, so any spec can compose them with any topology, drift and
+  algorithm.
+* :mod:`repro.chaos.loader` -- JSON scenario files under ``scenarios/``
+  (package data), loaded through :class:`repro.experiments.spec.ScenarioSpec`
+  and registered as named SCENARIOS at import time.
+* :mod:`repro.chaos.adversarial` -- the shifting-argument lower-bound worst
+  cases as runnable scenarios, derived from
+  :mod:`repro.lower_bounds.shifting`.
+* :mod:`repro.chaos.validate` -- the ``repro-experiments scenarios
+  --validate`` lint.
+
+This package never imports :mod:`repro.experiments` at module level: the
+registry imports *us* (bottom of ``registry.py``), and all references back
+into the registry happen lazily inside functions.
+"""
+
+from .faults import (  # noqa: F401
+    correlated_mass_churn,
+    crash_restart,
+    partition_then_heal,
+)
+from .loader import (  # noqa: F401
+    CHAOS_FORMAT_VERSION,
+    FAMILIES,
+    LOAD_ERRORS,
+    ChaosError,
+    ScenarioFile,
+    load_packaged_scenarios,
+    load_scenario_dir,
+    load_scenario_file,
+    packaged_scenario_dir,
+    register_packaged_scenarios,
+    scenario_files,
+)
+from .validate import (  # noqa: F401
+    FileReport,
+    ValidationReport,
+    validate_files,
+    validate_pack,
+)
+
+__all__ = [
+    "CHAOS_FORMAT_VERSION",
+    "FAMILIES",
+    "LOAD_ERRORS",
+    "ChaosError",
+    "FileReport",
+    "ScenarioFile",
+    "ValidationReport",
+    "correlated_mass_churn",
+    "crash_restart",
+    "load_packaged_scenarios",
+    "load_scenario_dir",
+    "load_scenario_file",
+    "packaged_scenario_dir",
+    "partition_then_heal",
+    "register_packaged_scenarios",
+    "scenario_files",
+    "validate_files",
+    "validate_pack",
+]

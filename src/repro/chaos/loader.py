@@ -1,0 +1,251 @@
+"""Declarative chaos scenario files: parsing, schema checks, registration.
+
+A scenario file is a JSON document (with ``#`` comment lines allowed, so the
+files read like the YAML-ish configs people actually write) describing one
+named chaos scenario::
+
+    # A line that loses its middle node once.
+    {
+      "chaos_format": 1,
+      "name": "chaos_crash_restart_line",
+      "family": "crash_restart",
+      "description": "one-line blurb shown by `repro-experiments scenarios`",
+      "spec": { ... ScenarioSpec.to_dict() payload ... },
+      "expect": {"min_final_global_skew": 2.5}          # optional
+    }
+
+Files shipped under ``repro/chaos/scenarios/`` are package data; at import
+time :func:`register_packaged_scenarios` loads each one through
+:class:`repro.experiments.spec.ScenarioSpec` and registers a builder under
+the file's ``name`` in :data:`repro.experiments.registry.SCENARIOS`, so chaos
+scenarios are first-class citizens of ``repro-experiments run/sweep`` and the
+result cache.  A malformed file never breaks the package import: its error is
+recorded in :data:`LOAD_ERRORS` (and surfaced by ``scenarios --validate``)
+while every well-formed sibling still registers.
+
+This module only imports :mod:`repro.experiments` lazily inside functions --
+the registry imports *us* at the bottom of its module (and we trigger the
+registry when ``repro.chaos`` is imported first), so the module level must
+stay clear of the cycle in both directions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.spec import ScenarioSpec
+
+#: Bumped when the scenario-file schema changes shape.
+CHAOS_FORMAT_VERSION = 1
+
+#: The fault families a scenario file may declare.  ``adversarial_shifting``
+#: marks the lower-bound worst cases derived from
+#: :mod:`repro.lower_bounds.shifting`; ``composite`` marks scenarios stacking
+#: several fault mechanisms.
+FAMILIES = (
+    "correlated_mass_churn",
+    "partition_then_heal",
+    "delay_spike_storm",
+    "crash_restart",
+    "adversarial_shifting",
+    "composite",
+)
+
+_REQUIRED_KEYS = ("chaos_format", "name", "family", "spec")
+_OPTIONAL_KEYS = ("description", "expect")
+
+#: Recognised keys of the optional ``expect`` block; checked by the validate
+#: lint and asserted by the chaos test suite after full-length runs.
+EXPECT_KEYS = ("min_final_global_skew", "max_final_global_skew")
+
+#: Errors collected by :func:`register_packaged_scenarios` (one string per
+#: broken file).  Empty after a clean import.
+LOAD_ERRORS: List[str] = []
+
+
+class ChaosError(ValueError):
+    """Raised on malformed chaos scenario files."""
+
+
+@dataclass(frozen=True)
+class ScenarioFile:
+    """One parsed scenario file."""
+
+    path: str
+    name: str
+    family: str
+    spec: ScenarioSpec
+    description: str = ""
+    expect: Dict[str, float] = field(default_factory=dict)
+
+
+def parse_commented_json(text: str) -> Any:
+    """Parse JSON after stripping full-line ``#`` comments."""
+    lines = [
+        line for line in text.splitlines() if not line.lstrip().startswith("#")
+    ]
+    return json.loads("\n".join(lines))
+
+
+def load_scenario_file(path: Path) -> ScenarioFile:
+    """Load and schema-check a single scenario file."""
+    path = Path(path)
+    try:
+        payload = parse_commented_json(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ChaosError(f"{path.name}: cannot parse: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ChaosError(f"{path.name}: top level must be a JSON object")
+    for key in _REQUIRED_KEYS:
+        if key not in payload:
+            raise ChaosError(f"{path.name}: missing required key {key!r}")
+    unknown = sorted(set(payload) - set(_REQUIRED_KEYS) - set(_OPTIONAL_KEYS))
+    if unknown:
+        raise ChaosError(f"{path.name}: unknown keys {unknown}")
+    if payload["chaos_format"] != CHAOS_FORMAT_VERSION:
+        raise ChaosError(
+            f"{path.name}: chaos_format {payload['chaos_format']!r} is not "
+            f"the supported version {CHAOS_FORMAT_VERSION}"
+        )
+    name = payload["name"]
+    if not isinstance(name, str) or not name or not all(
+        ch.isalnum() or ch == "_" for ch in name
+    ):
+        raise ChaosError(
+            f"{path.name}: name must be a non-empty [a-z0-9_] string, got {name!r}"
+        )
+    family = payload["family"]
+    if family not in FAMILIES:
+        raise ChaosError(
+            f"{path.name}: family {family!r} is not one of {FAMILIES}"
+        )
+    description = payload.get("description", "")
+    if not isinstance(description, str):
+        raise ChaosError(f"{path.name}: description must be a string")
+    expect = payload.get("expect", {})
+    if not isinstance(expect, dict):
+        raise ChaosError(f"{path.name}: expect must be an object")
+    bad_expect = sorted(set(expect) - set(EXPECT_KEYS))
+    if bad_expect:
+        raise ChaosError(
+            f"{path.name}: unknown expect keys {bad_expect}; known: {list(EXPECT_KEYS)}"
+        )
+    for key, value in expect.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ChaosError(f"{path.name}: expect[{key!r}] must be a number")
+    if not isinstance(payload["spec"], dict):
+        raise ChaosError(f"{path.name}: spec must be an object")
+    from ..experiments.spec import ScenarioSpec
+
+    try:
+        spec = ScenarioSpec.from_dict(payload["spec"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ChaosError(f"{path.name}: bad spec: {exc}") from exc
+    return ScenarioFile(
+        path=str(path),
+        name=name,
+        family=family,
+        spec=spec,
+        description=description,
+        expect={key: float(value) for key, value in expect.items()},
+    )
+
+
+def packaged_scenario_dir() -> Path:
+    """Directory holding the scenario files shipped as package data."""
+    return Path(__file__).resolve().parent / "scenarios"
+
+
+def load_scenario_dir(directory: Path) -> Tuple[List[ScenarioFile], List[str]]:
+    """Load every ``*.json`` file in ``directory``.
+
+    Returns ``(files, errors)``; a broken file lands in ``errors`` as a
+    one-line message and does not prevent its siblings from loading.
+    """
+    directory = Path(directory)
+    files: List[ScenarioFile] = []
+    errors: List[str] = []
+    if not directory.is_dir():
+        return files, [f"{directory}: not a directory"]
+    for path in sorted(directory.glob("*.json")):
+        try:
+            files.append(load_scenario_file(path))
+        except ChaosError as exc:
+            errors.append(str(exc))
+    return files, errors
+
+
+def load_packaged_scenarios() -> Tuple[List[ScenarioFile], List[str]]:
+    """Load the scenario pack shipped with the package."""
+    return load_scenario_dir(packaged_scenario_dir())
+
+
+def _apply_overrides(sf: ScenarioFile, overrides: Dict[str, Any]) -> "ScenarioSpec":
+    from dataclasses import replace
+
+    from ..experiments.spec import SpecError
+
+    spec = sf.spec
+    updates: Dict[str, Any] = {}
+    for key, value in overrides.items():
+        if key == "sim":
+            merged = dict(spec.sim)
+            merged.update(value)
+            updates["sim"] = merged
+        elif key in ("label", "params", "edge", "notes", "initial_ramp_per_edge",
+                     "initial_logical"):
+            updates[key] = value
+        else:
+            raise SpecError(
+                f"chaos scenario {sf.name!r} accepts overrides for "
+                f"sim/label/params/edge/notes/initial_ramp_per_edge/"
+                f"initial_logical, got {key!r}"
+            )
+    return replace(spec, **updates) if updates else spec
+
+
+def _builder_for(sf: ScenarioFile):
+    def build(**overrides: Any) -> ScenarioSpec:
+        return _apply_overrides(sf, overrides)
+
+    build.__name__ = sf.name
+    build.__doc__ = f"[chaos/{sf.family}] {sf.description}".strip()
+    build.chaos_family = sf.family
+    build.chaos_path = sf.path
+    return build
+
+
+def register_packaged_scenarios() -> List[str]:
+    """Register every packaged scenario file into ``SCENARIOS``.
+
+    Called once from the bottom of :mod:`repro.experiments.registry`.
+    Returns (and records in :data:`LOAD_ERRORS`) the per-file error messages;
+    duplicate names -- within the pack or against built-in scenarios -- are
+    reported the same way instead of aborting the import.
+    """
+    from ..experiments import registry as registry_mod
+
+    files, errors = load_packaged_scenarios()
+    for sf in files:
+        try:
+            registry_mod.SCENARIOS.register(sf.name, _builder_for(sf))
+        except registry_mod.RegistryError as exc:
+            errors.append(f"{Path(sf.path).name}: {exc}")
+    LOAD_ERRORS[:] = errors
+    return list(errors)
+
+
+def scenario_files(
+    extra_dirs: Sequence[Path] = (),
+) -> Tuple[List[ScenarioFile], List[str]]:
+    """Packaged scenario files plus any user-supplied directories."""
+    files, errors = load_packaged_scenarios()
+    for directory in extra_dirs:
+        more, more_errors = load_scenario_dir(Path(directory))
+        files.extend(more)
+        errors.extend(more_errors)
+    return files, errors

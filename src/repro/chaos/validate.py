@@ -1,0 +1,206 @@
+"""The ``scenarios --validate`` lint: schema, registry, derivation checks.
+
+Four layers of checking, each catching a different way a scenario pack rots:
+
+1. **Schema** -- the loader already rejects malformed files; their error
+   messages surface here as global problems instead of import failures.
+2. **Registry resolution + dry-run build** -- every component name must
+   resolve and the whole spec must materialise
+   (:func:`repro.experiments.registry.build_scenario`), so a renamed
+   dynamics entry or a bad argument is caught before anyone runs a sweep.
+3. **Registration round-trip** -- the file's ``name`` must be registered in
+   ``SCENARIOS`` and building it must reproduce the file's spec bit-for-bit
+   (content-hash equality), so the CLI name and the file never diverge.
+4. **Family semantics** -- watchdog observers must be pre-wired in every
+   file; ``adversarial_shifting`` files must carry the analytic notes, be
+   re-derivable from :mod:`repro.chaos.adversarial` (hash equality again)
+   and run long enough (``duration >= minimum_time_to_accumulate``) to
+   exhibit the bound they claim to measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Sequence
+
+from .loader import ScenarioFile, scenario_files
+
+
+@dataclass
+class FileReport:
+    """Validation outcome for one scenario file."""
+
+    name: str
+    path: str
+    family: str
+    description: str = ""
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+@dataclass
+class ValidationReport:
+    """Validation outcome for a whole scenario pack."""
+
+    files: List[FileReport] = field(default_factory=list)
+    global_problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.global_problems and all(f.ok for f in self.files)
+
+    @property
+    def problem_count(self) -> int:
+        return len(self.global_problems) + sum(len(f.problems) for f in self.files)
+
+    def describe(self) -> List[str]:
+        lines: List[str] = []
+        for report in self.files:
+            status = "ok" if report.ok else "FAIL"
+            lines.append(f"{status:4s} {report.name} ({report.family})")
+            for problem in report.problems:
+                lines.append(f"       - {problem}")
+        for problem in self.global_problems:
+            lines.append(f"FAIL (pack) {problem}")
+        lines.append(
+            f"{len(self.files)} scenario files, {self.problem_count} problem(s)"
+        )
+        return lines
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "files": [
+                {
+                    "name": f.name,
+                    "path": f.path,
+                    "family": f.family,
+                    "description": f.description,
+                    "ok": f.ok,
+                    "problems": list(f.problems),
+                }
+                for f in self.files
+            ],
+            "global_problems": list(self.global_problems),
+        }
+
+
+def _check_observers(sf: ScenarioFile, problems: List[str]) -> None:
+    from ..metrics import OBSERVERS, is_watchdog_name
+
+    unknown = [name for name in sf.spec.observers if name not in OBSERVERS]
+    if unknown:
+        problems.append(f"unknown observers {unknown}")
+    if not any(is_watchdog_name(name) for name in sf.spec.observers):
+        problems.append(
+            "no watchdog observer pre-wired (chaos scenarios must emit "
+            "telemetry firings out of the box)"
+        )
+
+
+def _check_build(sf: ScenarioFile, problems: List[str]) -> None:
+    from ..experiments import registry as registry_mod
+
+    try:
+        registry_mod.build_scenario(sf.spec)
+    except Exception as exc:  # lint must report, not crash
+        problems.append(f"dry-run build failed: {type(exc).__name__}: {exc}")
+
+
+def _check_registration(sf: ScenarioFile, problems: List[str]) -> None:
+    from ..experiments import registry as registry_mod
+    from .loader import packaged_scenario_dir
+
+    if sf.name not in registry_mod.SCENARIOS:
+        # Only packaged files register at import time; a user-supplied
+        # directory is linted for schema and buildability, not registration.
+        if Path(sf.path).parent == packaged_scenario_dir():
+            problems.append("not registered in SCENARIOS (load error at import?)")
+        return
+    try:
+        built = registry_mod.scenario(sf.name)
+    except Exception as exc:
+        problems.append(f"registered builder failed: {type(exc).__name__}: {exc}")
+        return
+    if built.content_hash() != sf.spec.content_hash():
+        problems.append(
+            "registered scenario does not reproduce the file spec "
+            f"(hash {built.short_hash()} != {sf.spec.short_hash()})"
+        )
+
+
+def _check_adversarial(sf: ScenarioFile, problems: List[str]) -> None:
+    from ..core.parameters import Parameters
+    from ..lower_bounds import shifting
+    from . import adversarial
+
+    notes = sf.spec.notes
+    for key in ("expected_lower_bound", "minimum_accumulation_time"):
+        if key not in notes:
+            problems.append(f"adversarial scenario missing notes[{key!r}]")
+            return
+    try:
+        params = Parameters(**sf.spec.params)
+        t_min = shifting.minimum_time_to_accumulate(
+            float(notes["expected_lower_bound"]), params
+        )
+    except (TypeError, ValueError) as exc:
+        problems.append(f"cannot recompute accumulation time: {exc}")
+        return
+    if abs(t_min - float(notes["minimum_accumulation_time"])) > 1e-9:
+        problems.append(
+            f"notes disagree with lower_bounds.shifting: minimum accumulation "
+            f"time {notes['minimum_accumulation_time']} != analytic {t_min}"
+        )
+    duration = sf.spec.sim.get("duration")
+    if duration is None or float(duration) < t_min:
+        problems.append(
+            f"duration {duration} is shorter than the minimum accumulation "
+            f"time {t_min}; the run cannot exhibit the bound"
+        )
+    expected = adversarial.expected_spec(sf.name)
+    if expected is not None and expected.content_hash() != sf.spec.content_hash():
+        problems.append(
+            "file has drifted from its repro.chaos.adversarial derivation; "
+            "regenerate with `python -m repro.chaos.adversarial`"
+        )
+
+
+def validate_files(
+    files: Sequence[ScenarioFile], load_errors: Sequence[str] = ()
+) -> ValidationReport:
+    """Run the full lint over already-loaded scenario files."""
+    report = ValidationReport(global_problems=list(load_errors))
+    seen: Dict[str, str] = {}
+    for sf in files:
+        if sf.name in seen:
+            report.global_problems.append(
+                f"duplicate scenario name {sf.name!r} in "
+                f"{Path(seen[sf.name]).name} and {Path(sf.path).name}"
+            )
+        else:
+            seen[sf.name] = sf.path
+    for sf in files:
+        file_report = FileReport(
+            name=sf.name,
+            path=sf.path,
+            family=sf.family,
+            description=sf.description,
+        )
+        _check_observers(sf, file_report.problems)
+        _check_build(sf, file_report.problems)
+        _check_registration(sf, file_report.problems)
+        if sf.family == "adversarial_shifting":
+            _check_adversarial(sf, file_report.problems)
+        report.files.append(file_report)
+    return report
+
+
+def validate_pack(extra_dirs: Sequence[Path] = ()) -> ValidationReport:
+    """Lint the packaged scenario files plus any extra directories."""
+    files, errors = scenario_files(extra_dirs)
+    return validate_files(files, errors)

@@ -202,6 +202,63 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    from ..chaos import scenario_files, validate_pack
+
+    extra_dirs = list(args.dir or [])
+    if args.validate:
+        report_obj = validate_pack(extra_dirs)
+        if args.json:
+            print(json.dumps(report_obj.to_dict(), indent=2))
+        else:
+            for line in report_obj.describe():
+                print(line)
+        if not report_obj.ok:
+            raise CliError(
+                f"scenario lint failed with {report_obj.problem_count} problem(s)"
+            )
+        return 0
+    files, errors = scenario_files(extra_dirs)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "scenarios": [
+                        {
+                            "name": sf.name,
+                            "family": sf.family,
+                            "description": sf.description,
+                            "path": sf.path,
+                            "spec_hash": sf.spec.content_hash(),
+                            "expect": dict(sf.expect),
+                        }
+                        for sf in files
+                    ],
+                    "errors": list(errors),
+                },
+                indent=2,
+            )
+        )
+    else:
+        by_family: Dict[str, List[Any]] = {}
+        for sf in files:
+            by_family.setdefault(sf.family, []).append(sf)
+        for family in sorted(by_family):
+            print(f"{family}:")
+            for sf in sorted(by_family[family], key=lambda s: s.name):
+                print(f"  {sf.name:36s} {sf.description}")
+        print(
+            f"{len(files)} scenario files "
+            "(run with `repro-experiments run <name>`; lint with "
+            "`scenarios --validate`)"
+        )
+        for message in errors:
+            print(f"error: {message}", file=sys.stderr)
+    if errors:
+        raise CliError(f"{len(errors)} scenario file(s) failed to load")
+    return 0
+
+
 def _check_user_input(fn, *fn_args, **fn_kwargs):
     """Call a spec-construction/validation function with user-friendly errors.
 
@@ -449,7 +506,17 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+class _ShutdownSignal(Exception):
+    """Raised from the SIGTERM/SIGINT handler to unwind ``serve_forever``."""
+
+    def __init__(self, signum: int):
+        super().__init__(f"signal {signum}")
+        self.signum = signum
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from ..service import JsonlLog, ServiceConfig, SweepServer, SweepService
     from ..service.core import ServiceError
 
@@ -477,12 +544,36 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"cache: {service.cache.cache_dir}", file=sys.stderr)
     if service.log.enabled:
         print(f"telemetry: {service.log.path} (JSONL, tail -f friendly)", file=sys.stderr)
+    # SIGTERM (systemd, docker stop, CI harnesses) and SIGINT (^C) both
+    # trigger the same graceful drain: stop accepting sweeps, let in-flight
+    # jobs finish within --drain-timeout, fail queued jobs with a clear
+    # status, flush the telemetry log.
+    def _on_signal(signum, frame):
+        raise _ShutdownSignal(signum)
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _on_signal)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("shutting down", file=sys.stderr)
+        server.serve_forever(drain_timeout=args.drain_timeout)
+    except (KeyboardInterrupt, _ShutdownSignal) as exc:
+        name = (
+            signal.Signals(exc.signum).name
+            if isinstance(exc, _ShutdownSignal)
+            else "SIGINT"
+        )
+        print(
+            f"{name}: draining (in-flight jobs get {args.drain_timeout:g}s)",
+            file=sys.stderr,
+        )
     finally:
-        server.shutdown()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.shutdown(drain_timeout=args.drain_timeout)
+        service.log.close()
     return 0
 
 
@@ -655,6 +746,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_parser.set_defaults(handler=cmd_cache)
 
+    scenarios_parser = subparsers.add_parser(
+        "scenarios",
+        help="list or lint the chaos scenario pack (repro.chaos)",
+        description="Scenario files ship as package data under "
+        "repro/chaos/scenarios/ and register as named scenarios at import "
+        "time, so `run`/`sweep` accept them like any built-in.  --validate "
+        "lints the pack: schema, registry resolution, dry-run build, "
+        "duplicate names, watchdog pre-wiring and the adversarial files' "
+        "derivation from the analytic lower bounds.",
+    )
+    scenarios_parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="lint every scenario file and exit non-zero on any problem",
+    )
+    scenarios_parser.add_argument(
+        "--dir",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="additional scenario-file directory to include (repeatable)",
+    )
+    scenarios_parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a listing"
+    )
+    scenarios_parser.set_defaults(handler=cmd_scenarios)
+
     serve_parser = subparsers.add_parser(
         "serve",
         help="run the sweep service daemon (HTTP/JSON API over the result cache)",
@@ -695,6 +813,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="rotate the telemetry log to <file>.1 when it reaches N bytes "
         "(default: grow without bound)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT, stop accepting sweeps (503) and give "
+        "in-flight jobs up to SECONDS to finish; queued jobs fail with a "
+        "clear status (default: 30)",
     )
     serve_parser.add_argument(
         "--janitor-interval",

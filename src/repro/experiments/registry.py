@@ -31,7 +31,7 @@ import inspect
 import math
 import random
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..baselines.hardware_only import hardware_only_factory
 from ..fastsim.backend import BACKENDS, backend_names
@@ -940,3 +940,125 @@ def _quickstart_line_scenario(
             sim,
         ),
     )
+
+
+# ----------------------------------------------------------------------
+# Chaos fault family (repro.chaos)
+#
+# This block sits at the bottom of the module on purpose: repro.chaos
+# imports nothing from repro.experiments at module level, but its loader
+# needs the registries above to exist when packaged scenario files are
+# registered, and the DYNAMICS/DELAYS wrappers below need repro.chaos.
+# Keeping the cross-imports down here makes the cycle a no-op.
+# ----------------------------------------------------------------------
+from ..chaos import faults as _chaos_faults  # noqa: E402
+
+
+@DYNAMICS.register("correlated_mass_churn")
+def _correlated_mass_churn(
+    graph: DynamicGraph,
+    edge: EdgeParams,
+    *,
+    horizon: float,
+    k: int = 2,
+    victims: Optional[Sequence[NodeId]] = None,
+    period: float = 60.0,
+    outage: float = 10.0,
+    start: float = 20.0,
+    seed: int,
+) -> Tuple[DynamicGraph, Dict[str, Any]]:
+    """k nodes' edges drop and return together: a shared failure domain."""
+    return _chaos_faults.correlated_mass_churn(
+        graph,
+        edge,
+        horizon=horizon,
+        k=k,
+        victims=victims,
+        period=period,
+        outage=outage,
+        start=start,
+        seed=seed,
+    )
+
+
+@DYNAMICS.register("partition_then_heal")
+def _partition_then_heal(
+    graph: DynamicGraph,
+    edge: EdgeParams,
+    *,
+    split_time: float,
+    heal_time: float,
+    split_fraction: float = 0.5,
+) -> Tuple[DynamicGraph, Dict[str, Any]]:
+    """The graph splits into two components and re-merges with built-up skew."""
+    return _chaos_faults.partition_then_heal(
+        graph,
+        edge,
+        split_time=split_time,
+        heal_time=heal_time,
+        split_fraction=split_fraction,
+    )
+
+
+@DYNAMICS.register("crash_restart")
+def _crash_restart(
+    graph: DynamicGraph,
+    edge: EdgeParams,
+    *,
+    crash_time: float,
+    downtime: float = 10.0,
+    node: Optional[NodeId] = None,
+    reset_value: float = 0.0,
+) -> Tuple[DynamicGraph, Dict[str, Any]]:
+    """One node loses its edges, forgets its state and rejoins from scratch."""
+    return _chaos_faults.crash_restart(
+        graph,
+        edge,
+        crash_time=crash_time,
+        downtime=downtime,
+        node=node,
+        reset_value=reset_value,
+    )
+
+
+@DELAYS.register("delay_spike_storm")
+def _delay_spike_storm(
+    *,
+    inner: str = "fixed_fraction",
+    inner_args: Optional[Dict[str, Any]] = None,
+    period: float = 40.0,
+    width: float = 10.0,
+    start: float = 0.0,
+    factor: float = 4.0,
+    edges: Optional[Sequence[Sequence[NodeId]]] = None,
+    seed: int,
+) -> delay_mod.DelayModel:
+    """Windowed delay amplifier wrapping another registered delay model.
+
+    ``inner``/``inner_args`` name the wrapped DELAYS entry; the spec-derived
+    seed is forwarded to it when it takes one, so e.g. a uniform inner model
+    stays deterministic per spec across backends.
+    """
+    inner_model = _call_with_optional_seed(
+        DELAYS.get(inner), dict(inner_args or {}), seed
+    )
+    edge_pairs = (
+        None if edges is None else [(pair[0], pair[1]) for pair in edges]
+    )
+    return delay_mod.DelaySpikeStorm(
+        inner_model,
+        period=period,
+        width=width,
+        start=start,
+        factor=factor,
+        edges=edge_pairs,
+    )
+
+
+from ..chaos.loader import register_packaged_scenarios as _register_chaos  # noqa: E402
+
+#: Per-file error messages from loading the packaged chaos scenario pack at
+#: import time (also mirrored in repro.chaos.LOAD_ERRORS).  A broken file
+#: never breaks this import; `repro-experiments scenarios --validate` fails
+#: on these.
+CHAOS_LOAD_ERRORS: List[str] = _register_chaos()

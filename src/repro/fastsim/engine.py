@@ -138,6 +138,11 @@ class FastEngine:
                 "the fast backend does not implement the diameter tracker; "
                 "use backend='reference'"
             )
+        if graph.pending_node_resets():
+            raise UnsupportedScenarioError(
+                "the fast backend does not implement node crash/restart "
+                "resets; use backend='reference'"
+            )
         strategy = _STRATEGY_CODES.get(config.estimate_strategy)
         if strategy is None:
             raise UnsupportedScenarioError(

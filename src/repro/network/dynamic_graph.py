@@ -37,6 +37,26 @@ class EdgeEvent:
             raise GraphError(f"event times must be non-negative, got {self.time}")
 
 
+@dataclass(frozen=True, order=True)
+class NodeResetEvent:
+    """A scheduled node restart: clocks and algorithm state start over.
+
+    At ``time`` the node's hardware and logical clocks are replaced with
+    fresh clocks at ``value`` and its algorithm instance is recreated, as if
+    the node had crashed and rebooted with no memory of the run so far.  The
+    surrounding outage (its edges going down and coming back) is expressed
+    through ordinary edge events.
+    """
+
+    time: float
+    node: NodeId
+    value: float = 0.0
+
+    def __post_init__(self):
+        if self.time < 0.0:
+            raise GraphError(f"event times must be non-negative, got {self.time}")
+
+
 class DynamicGraph:
     """Mutable directed graph with per-edge parameters and an event schedule."""
 
@@ -49,6 +69,8 @@ class DynamicGraph:
         self._params: Dict[EdgeKey, EdgeParams] = {}
         self._schedule: List[EdgeEvent] = []
         self._schedule_sorted = True
+        self._node_resets: List[NodeResetEvent] = []
+        self._node_resets_sorted = True
 
     # ------------------------------------------------------------------
     # Node and edge accessors
@@ -234,6 +256,41 @@ class DynamicGraph:
             self.remove_directed_edge(event.source, event.target)
 
     # ------------------------------------------------------------------
+    # Node-reset schedule (crash/restart scenarios)
+    # ------------------------------------------------------------------
+    def schedule_node_reset(
+        self, time: float, node: NodeId, *, value: float = 0.0
+    ) -> None:
+        """Schedule ``node`` to restart at ``time`` with clocks at ``value``.
+
+        The engine interprets the event as a crash/restart: clocks are
+        replaced and the algorithm instance is rebuilt from its factory.
+        Engines that do not implement node restarts must reject graphs with
+        pending resets (``UnsupportedScenarioError``) so the established
+        reference fallback applies.
+        """
+        self._require_node(node)
+        self._node_resets.append(NodeResetEvent(time, node, float(value)))
+        self._node_resets_sorted = False
+
+    def pending_node_resets(self) -> List[NodeResetEvent]:
+        self._sort_node_resets()
+        return list(self._node_resets)
+
+    def pop_node_resets_until(self, time: float) -> List[NodeResetEvent]:
+        """Remove and return all node resets with ``event.time <= time``."""
+        self._sort_node_resets()
+        due: List[NodeResetEvent] = []
+        rest: List[NodeResetEvent] = []
+        for event in self._node_resets:
+            if event.time <= time + 1e-12:
+                due.append(event)
+            else:
+                rest.append(event)
+        self._node_resets = rest
+        return due
+
+    # ------------------------------------------------------------------
     # Structure queries
     # ------------------------------------------------------------------
     def adjacency(self) -> Dict[NodeId, Set[NodeId]]:
@@ -263,6 +320,8 @@ class DynamicGraph:
         clone._params = dict(self._params)
         clone._schedule = list(self._schedule)
         clone._schedule_sorted = self._schedule_sorted
+        clone._node_resets = list(self._node_resets)
+        clone._node_resets_sorted = self._node_resets_sorted
         return clone
 
     # ------------------------------------------------------------------
@@ -280,3 +339,8 @@ class DynamicGraph:
         if not self._schedule_sorted:
             self._schedule.sort()
             self._schedule_sorted = True
+
+    def _sort_node_resets(self) -> None:
+        if not self._node_resets_sorted:
+            self._node_resets.sort()
+            self._node_resets_sorted = True

@@ -26,19 +26,29 @@ Everything here is standard library only; the daemon must import and run
 on the no-numpy CI leg.  Start it with ``repro-experiments serve``.
 """
 
-from .client import ClientError, ServiceClient
-from .core import Job, JobStore, ServiceConfig, ServiceError, SweepService
+from .client import ClientError, JobFailed, RetryExhaustedError, ServiceClient
+from .core import (
+    Job,
+    JobStore,
+    ServiceConfig,
+    ServiceError,
+    ServiceUnavailableError,
+    SweepService,
+)
 from .events import JsonlLog
 from .server import SweepServer, build_server
 
 __all__ = [
     "ClientError",
     "Job",
+    "JobFailed",
     "JobStore",
     "JsonlLog",
+    "RetryExhaustedError",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "ServiceUnavailableError",
     "SweepServer",
     "SweepService",
     "build_server",

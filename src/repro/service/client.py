@@ -1,8 +1,8 @@
 """A small stdlib-only client for the sweep service HTTP API.
 
 Used by the test suite, the CI smoke job and the docs; kept deliberately
-free of anything beyond ``urllib`` so it runs wherever the daemon does
-(including the no-numpy CI leg)::
+free of anything beyond the standard library so it runs wherever the daemon
+does (including the no-numpy CI leg)::
 
     from repro.experiments import scenario
     from repro.service.client import ServiceClient
@@ -13,15 +13,26 @@ free of anything beyond ``urllib`` so it runs wherever the daemon does
     for entry in job["specs"]:
         payload = client.result(entry["result_key"])
         print(entry["label"], payload["summary"]["max_global_skew"])
+
+The client is hardened against a flaky daemon:
+
+* every request carries separate **connect** and **read** timeouts;
+* transient failures retry with bounded, deterministic exponential backoff
+  -- idempotent ``GET``\\ s on connection-refused, connection-reset and HTTP
+  503, ``POST /sweeps`` only when the connection was never established (so
+  a submission can never be duplicated);
+* when the retry budget runs out, :class:`RetryExhaustedError` carries the
+  full attempt log for diagnosis.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import socket
 import time
-import urllib.error
-import urllib.request
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+import urllib.parse
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Union
 
 from ..experiments.spec import ScenarioSpec
 
@@ -45,6 +56,26 @@ class ClientError(RuntimeError):
         self.payload = payload or {}
 
 
+class RetryExhaustedError(ClientError):
+    """Every attempt of a retryable request failed.
+
+    ``attempts`` is the log: one ``{"attempt", "error", "status",
+    "backoff"}`` dict per try, in order (``backoff`` is the sleep applied
+    *after* that failure; the final entry has ``backoff: None``).
+    ``status``/``payload`` reflect the last failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        attempts: List[Dict[str, Any]],
+        status: Optional[int] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(message, status=status, payload=payload)
+        self.attempts = attempts
+
+
 class JobFailed(ClientError):
     """Raised by :meth:`ServiceClient.wait` when the job ends ``failed``."""
 
@@ -53,39 +84,172 @@ class JobFailed(ClientError):
         self.job = job
 
 
-class ServiceClient:
-    """Talk to a running sweep service daemon."""
+class _TransportFailure(Exception):
+    """Internal: a socket-level failure, tagged with whether any byte of the
+    request could have reached the server."""
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0):
+    def __init__(self, cause: Exception, before_send: bool):
+        super().__init__(str(cause))
+        self.cause = cause
+        self.before_send = before_send
+
+
+class _HttpFailure(Exception):
+    """Internal: a non-2xx response (the request *was* processed or
+    deliberately rejected)."""
+
+    def __init__(self, message: str, status: int, payload: Dict[str, Any]):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload
+
+
+#: HTTP statuses that signal "try again later" (the drain path returns 503).
+RETRYABLE_STATUSES = (503,)
+
+
+class ServiceClient:
+    """Talk to a running sweep service daemon.
+
+    ``timeout`` is the legacy single knob; ``connect_timeout`` and
+    ``read_timeout`` override it per phase.  ``retries`` bounds the number
+    of *re*-tries after the first attempt; backoff after failure ``i`` is
+    ``min(backoff_base * 2**i, backoff_max)`` seconds -- deterministic, no
+    jitter, so tests and incident timelines can reason about it.  ``sleep``
+    is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 30.0,
+        connect_timeout: Optional[float] = None,
+        read_timeout: Optional[float] = None,
+        retries: int = 3,
+        backoff_base: float = 0.2,
+        backoff_max: float = 5.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
         self.base_url = base_url.rstrip("/")
+        split = urllib.parse.urlsplit(self.base_url)
+        if split.scheme not in ("http", "https") or not split.hostname:
+            raise ClientError(f"base_url must be http(s)://host[:port], got {base_url!r}")
+        self._scheme = split.scheme
+        self._host = split.hostname
+        self._port = split.port or (443 if split.scheme == "https" else 80)
+        self._prefix = split.path.rstrip("/")
         self.timeout = timeout
+        self.connect_timeout = connect_timeout if connect_timeout is not None else timeout
+        self.read_timeout = read_timeout if read_timeout is not None else timeout
+        if retries < 0:
+            raise ClientError(f"retries must be >= 0, got {retries}")
+        if backoff_base < 0.0 or backoff_max < 0.0:
+            raise ClientError("backoff_base and backoff_max must be non-negative")
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self._sleep = sleep
 
     # -- transport ------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        cls = (
+            http.client.HTTPSConnection
+            if self._scheme == "https"
+            else http.client.HTTPConnection
+        )
+        return cls(self._host, self._port, timeout=self.connect_timeout)
+
+    def _attempt(self, method: str, path: str, data: Optional[bytes]) -> bytes:
+        """One request attempt; raises _TransportFailure or _HttpFailure."""
+        conn = self._connection()
+        try:
+            try:
+                conn.connect()
+            except (OSError, socket.timeout) as exc:
+                # Connect failed: no byte of the request left this process,
+                # so even a POST is safe to retry.
+                raise _TransportFailure(exc, before_send=True)
+            if conn.sock is not None:
+                conn.sock.settimeout(self.read_timeout)
+            headers = {"Content-Type": "application/json"} if data else {}
+            try:
+                conn.request(method, self._prefix + path, body=data, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                status = response.status
+            except (OSError, socket.timeout, http.client.HTTPException) as exc:
+                # The request may have reached (and been processed by) the
+                # server; only idempotent methods may retry from here.
+                raise _TransportFailure(exc, before_send=False)
+        finally:
+            conn.close()
+        if 200 <= status < 300:
+            return raw
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            payload = {}
+        message = payload.get("error") or f"HTTP {status} on {method} {path}"
+        raise _HttpFailure(message, status, payload)
+
+    def _retryable(self, method: str, failure: Exception) -> bool:
+        if isinstance(failure, _TransportFailure):
+            if failure.before_send:
+                return True
+            return method == "GET"
+        if isinstance(failure, _HttpFailure):
+            # A status line was read, so the server saw the request: only
+            # idempotent methods retry, even on 503.
+            return method == "GET" and failure.status in RETRYABLE_STATUSES
+        return False
+
+    def _backoff(self, failure_index: int) -> float:
+        return min(self.backoff_base * (2 ** failure_index), self.backoff_max)
+
+    def _raise(self, method: str, path: str, failure: Exception) -> None:
+        if isinstance(failure, _HttpFailure):
+            raise ClientError(
+                str(failure), status=failure.status, payload=failure.payload
+            ) from failure
+        assert isinstance(failure, _TransportFailure)
+        raise ClientError(
+            f"cannot reach sweep service at {self.base_url}: {failure.cause}"
+        ) from failure.cause
+
     def _request(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> bytes:
         data = json.dumps(body).encode("utf-8") if body is not None else None
-        request = urllib.request.Request(
-            f"{self.base_url}{path}",
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return response.read()
-        except urllib.error.HTTPError as exc:
-            raw = exc.read()
+        attempts: List[Dict[str, Any]] = []
+        for attempt in range(self.retries + 1):
             try:
-                payload = json.loads(raw.decode("utf-8"))
-            except (UnicodeDecodeError, ValueError):
-                payload = {}
-            message = payload.get("error") or f"HTTP {exc.code} on {method} {path}"
-            raise ClientError(message, status=exc.code, payload=payload) from exc
-        except urllib.error.URLError as exc:
-            raise ClientError(
-                f"cannot reach sweep service at {self.base_url}: {exc.reason}"
-            ) from exc
+                return self._attempt(method, path, data)
+            except (_TransportFailure, _HttpFailure) as failure:
+                status = getattr(failure, "status", None)
+                entry: Dict[str, Any] = {
+                    "attempt": attempt + 1,
+                    "error": str(failure),
+                    "status": status,
+                    "backoff": None,
+                }
+                attempts.append(entry)
+                if not self._retryable(method, failure):
+                    self._raise(method, path, failure)
+                if attempt >= self.retries:
+                    payload = getattr(failure, "payload", None)
+                    raise RetryExhaustedError(
+                        f"{method} {path} failed after {len(attempts)} attempt(s) "
+                        f"against {self.base_url}: {failure}",
+                        attempts,
+                        status=status,
+                        payload=payload,
+                    ) from failure
+                backoff = self._backoff(attempt)
+                entry["backoff"] = backoff
+                if backoff > 0.0:
+                    self._sleep(backoff)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _json(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None

@@ -57,6 +57,14 @@ class ServiceError(RuntimeError):
     """Raised on invalid service configuration or submissions."""
 
 
+class ServiceUnavailableError(ServiceError):
+    """Raised by :meth:`SweepService.submit` while the service is draining.
+
+    The HTTP layer maps this to ``503 Service Unavailable``, which the
+    hardened client treats as retryable for idempotent requests.
+    """
+
+
 @dataclass
 class ServiceConfig:
     """Tunables of a :class:`SweepService` (all have serve-CLI flags)."""
@@ -277,6 +285,7 @@ class SweepService:
         self._janitor: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._running = False
+        self._draining = False
         #: Lifetime totals, exposed on ``/healthz`` (and asserted by the
         #: coalescing tests: ``executed_specs`` counts actual simulations).
         self.counters = {
@@ -298,6 +307,7 @@ class SweepService:
         if self._running:
             return self
         self._stop.clear()
+        self._draining = False
         self._threads = [
             threading.Thread(
                 target=self._worker, name=f"sweep-worker-{i}", daemon=True
@@ -334,6 +344,66 @@ class SweepService:
         self._running = False
         self.log.write("service_stop")
 
+    def drain(self, timeout: float = 30.0) -> Dict[str, Any]:
+        """Gracefully wind the service down: graceful sibling of :meth:`stop`.
+
+        1. stop accepting submissions (``submit`` raises
+           :class:`ServiceUnavailableError`, HTTP 503);
+        2. fail every *queued* job with a clear status -- those sweeps never
+           started, so clients must resubmit elsewhere;
+        3. let in-flight jobs finish, bounded by ``timeout`` seconds total;
+           workers still running at the deadline are abandoned (they are
+           daemon threads) and counted as ``stuck_workers``.
+
+        Returns a summary dict; ``clean`` is True when nothing was stuck.
+        Safe to call on a never-started or already-drained service.
+        """
+        with self._lock:
+            already = self._draining
+            self._draining = True
+            # Purge under the lock so submit() cannot enqueue concurrently.
+            queued: List[Job] = []
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is _SHUTDOWN:
+                    continue
+                queued.append(item)
+        if not already:
+            self.log.write("service_draining", drain_timeout=timeout, queued=len(queued))
+        for job in queued:
+            self._abort_job(job, "service shutting down before this job could run")
+        # One sentinel per worker: each finishes its in-flight job (the
+        # queue is now empty bar sentinels) and exits.
+        for _ in self._threads:
+            self._queue.put(_SHUTDOWN)
+        deadline = time.monotonic() + max(0.0, timeout)
+        stuck = 0
+        for thread in self._threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                stuck += 1
+        # Only now wake anything still parked in _await_followed (stuck
+        # owners past the deadline) and the janitor.
+        self._stop.set()
+        if self._janitor is not None:
+            self._janitor.join(1.0)
+            self._janitor = None
+        self._threads = []
+        self._running = False
+        summary = {
+            "failed_queued_jobs": len(queued),
+            "stuck_workers": stuck,
+            "clean": stuck == 0,
+        }
+        self.log.write("service_drained", **summary)
+        # Final flush point: rotate if the shutdown burst pushed the JSONL
+        # log over its size cap, so the next start appends to a fresh file.
+        self.log.rotate_if_over()
+        return summary
+
     # -- submission -----------------------------------------------------
     def submit(self, specs: Sequence[ScenarioSpec]) -> Job:
         """Register a sweep; returns its (possibly already finished) job.
@@ -343,6 +413,10 @@ class SweepService:
         execution; only the rest are leased for execution by this job.  A
         fully cache-served submission never enters the queue at all.
         """
+        if self._draining:
+            raise ServiceUnavailableError(
+                "service is draining for shutdown and not accepting new sweeps"
+            )
         if not specs:
             raise ServiceError("a sweep submission needs at least one spec")
         if len(specs) > self.config.max_specs_per_job:
@@ -363,6 +437,13 @@ class SweepService:
         job = Job(uuid.uuid4().hex[:12], specs, keys)
         enqueued = False
         with self._lock:
+            if self._draining:
+                # Re-check under the lock: drain() flips the flag and purges
+                # the queue while holding it, so no job can slip in between
+                # the purge and the workers exiting.
+                raise ServiceUnavailableError(
+                    "service is draining for shutdown and not accepting new sweeps"
+                )
             leased_here = set()
             for index, (spec, key) in enumerate(zip(specs, keys)):
                 if hits[index]:

@@ -36,7 +36,7 @@ from typing import Any, Dict, Optional, Tuple
 from ..experiments import executor, registry
 from ..experiments.spec import ScenarioSpec, SpecError
 from ..fastsim.backend import backend_available, backend_names
-from .core import ServiceError, SweepService
+from .core import ServiceError, ServiceUnavailableError, SweepService
 
 #: Submissions larger than this are rejected up front (413) -- a grid body
 #: has no business being megabytes of JSON.
@@ -210,6 +210,9 @@ class _Handler(BaseHTTPRequestHandler):
             specs = _parse_submission(self._read_body())
             try:
                 job = self.service.submit(specs)
+            except ServiceUnavailableError as exc:
+                # Draining for shutdown: tell clients to go elsewhere.
+                raise _HttpError(503, str(exc))
             except ServiceError as exc:
                 raise _HttpError(400, str(exc))
             self._send_json(202, job.to_payload())
@@ -267,12 +270,12 @@ class SweepServer:
         host, port = self.address
         return f"http://{host}:{port}"
 
-    def serve_forever(self) -> None:
+    def serve_forever(self, drain_timeout: Optional[float] = None) -> None:
         self.service.start()
         try:
             self.httpd.serve_forever()
         finally:
-            self.shutdown()
+            self.shutdown(drain_timeout=drain_timeout)
 
     def start_background(self) -> str:
         import threading
@@ -284,10 +287,22 @@ class SweepServer:
         self._thread.start()
         return self.url
 
-    def shutdown(self) -> None:
+    def shutdown(self, drain_timeout: Optional[float] = None) -> None:
+        """Stop the listener, then the service.
+
+        With ``drain_timeout`` set, the service drains gracefully
+        (:meth:`SweepService.drain`): in-flight jobs finish within the
+        bound, queued jobs fail with a clear status.  Without it, the
+        worker pool stops abruptly (the original behaviour).
+        """
         if self._closed:
             return
         self._closed = True
+        if drain_timeout is not None:
+            # Refuse new submissions *before* closing the listener so any
+            # request already in a handler thread gets a clean 503 instead
+            # of a reset connection.
+            self.service.drain(drain_timeout)
         self.httpd.shutdown()
         self.httpd.server_close()
         if self._thread is not None:

@@ -8,7 +8,7 @@ maps ``(sender, receiver, time, bound)`` to a delay in ``[0, bound]``.
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional, Set, Tuple
 
 from ..network.edge import NodeId
 
@@ -90,6 +90,70 @@ class DirectionalDelay(DelayModel):
         towards_higher = receiver > sender
         slow = towards_higher == self.slow_towards_higher
         return self._check(bound if slow else 0.0, bound)
+
+
+class DelaySpikeStorm(DelayModel):
+    """Windowed delay amplifier: periodic spike storms on chosen edges.
+
+    Wraps an inner delay model and multiplies its delays by ``factor``
+    during repeating storm windows ``[start + k*period, start + k*period +
+    width)``.  ``edges`` restricts the storm to the given undirected pairs
+    (``None`` = every edge).  Amplified delays are clamped to the edge's
+    delay bound, so the model never violates the paper's delivery guarantee
+    -- a storm degrades estimate quality to its admissible worst case rather
+    than breaking the system model.
+    """
+
+    def __init__(
+        self,
+        inner: DelayModel,
+        *,
+        period: float,
+        width: float,
+        start: float = 0.0,
+        factor: float = 4.0,
+        edges: Optional[Iterable[Tuple[NodeId, NodeId]]] = None,
+    ):
+        if not isinstance(inner, DelayModel):
+            raise DelayError("DelaySpikeStorm needs an inner DelayModel")
+        if period <= 0.0:
+            raise DelayError(f"storm period must be positive, got {period}")
+        if not 0.0 < width <= period:
+            raise DelayError(
+                f"storm width must lie in (0, period={period}], got {width}"
+            )
+        if start < 0.0:
+            raise DelayError(f"storm start must be non-negative, got {start}")
+        if factor < 0.0:
+            raise DelayError(f"storm factor must be non-negative, got {factor}")
+        self.inner = inner
+        self.period = float(period)
+        self.width = float(width)
+        self.start = float(start)
+        self.factor = float(factor)
+        self._edges: Optional[Set[Tuple[NodeId, NodeId]]] = None
+        if edges is not None:
+            self._edges = set()
+            for pair in edges:
+                u, v = pair
+                self._edges.add((min(u, v), max(u, v)))
+
+    def in_storm(self, t: float) -> bool:
+        """Whether ``t`` falls inside a storm window."""
+        if t < self.start:
+            return False
+        return (t - self.start) % self.period < self.width
+
+    def affects(self, sender: NodeId, receiver: NodeId) -> bool:
+        if self._edges is None:
+            return True
+        return (min(sender, receiver), max(sender, receiver)) in self._edges
+
+    def delay(self, sender: NodeId, receiver: NodeId, t: float, bound: float) -> float:
+        base = self.inner.delay(sender, receiver, t, bound)
+        if self.in_storm(t) and self.affects(sender, receiver):
+            return self._check(min(base * self.factor, bound), bound)
+        return base
 
 
 class CallableDelay(DelayModel):

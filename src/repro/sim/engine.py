@@ -142,6 +142,9 @@ class Engine:
         # for several runs (e.g. to compare algorithms).
         self.graph = graph.copy()
         self.params = params
+        # Kept for crash/restart scenarios: a node reset rebuilds the node's
+        # algorithm instance from the same factory that created it.
+        self._algorithm_factory = algorithm_factory
         self.dt = float(dt)
         self.time = 0.0
         self.drift = drift or NoDrift(params.rho)
@@ -245,6 +248,7 @@ class Engine:
     def step(self) -> None:
         """Execute one simulation step of length ``dt``."""
         t = self.time
+        self._apply_node_resets(t)
         self._apply_graph_events(t)
         self._deliver_messages(t)
         self.scheduler.run_due(t)
@@ -259,6 +263,32 @@ class Engine:
     # ------------------------------------------------------------------
     # Step phases
     # ------------------------------------------------------------------
+    def _apply_node_resets(self, t: float) -> None:
+        """Restart crashed nodes: fresh clocks, fresh algorithm, no memory.
+
+        Resets run *before* the edge events of the same step so that a node
+        rejoining at its restart instant greets its returning edges with the
+        newly built algorithm (``on_edge_discovered`` must reach the reboot,
+        not the pre-crash instance).  Everything the rest of the network
+        remembered about the node is dropped from the estimate layer: its
+        pre-crash clock is gone, so estimates of it are meaningless.
+        """
+        for event in self.graph.pop_node_resets_until(t):
+            state = self._node(event.node)
+            state.hardware = HardwareClock(self.params.rho, event.value)
+            state.logical = LogicalClock(event.value, allow_jumps=True)
+            algorithm = self._algorithm_factory(event.node)
+            state.algorithm = algorithm
+            state.decision = ControlDecision(multiplier=1.0)
+            forget = getattr(self.estimate_layer, "forget", None)
+            if forget is not None:
+                for other in self.graph.nodes:
+                    if other != event.node:
+                        forget(other, event.node)
+                        forget(event.node, other)
+            algorithm.bind(state.api)
+            algorithm.on_start(t, self.graph.neighbors(event.node))
+
     def _apply_graph_events(self, t: float) -> None:
         for event in self.graph.pop_events_until(t):
             existed = self.graph.has_directed_edge(event.source, event.target)

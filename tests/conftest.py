@@ -34,6 +34,23 @@ EQUIVALENCE_SCENARIO_OVERRIDES = {
     "quickstart_line": {"n": 6, "duration": 40.0},
 }
 
+
+def builtin_scenario_names() -> List[str]:
+    """Registry scenario names minus the chaos pack.
+
+    The chaos scenario files register at import time but get their own
+    differential and smoke coverage in tests/test_chaos_scenarios.py --
+    several exist precisely to exercise the reference fallback, so the
+    backend equivalence suites must not enumerate them.
+    """
+    from repro.experiments import registry
+
+    return [
+        name
+        for name in registry.SCENARIOS.names()
+        if not hasattr(registry.SCENARIOS.get(name), "chaos_family")
+    ]
+
 #: Axes of the randomized fuzz-spec generator.
 FUZZ_TOPOLOGIES = [
     ("line", lambda rng: {"n": rng.randint(3, 8)}),

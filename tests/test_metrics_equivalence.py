@@ -196,7 +196,9 @@ def assert_streaming_matches_legacy(spec):
 # ----------------------------------------------------------------------
 class TestStreamingMatchesLegacy:
     def test_every_named_scenario_is_covered(self):
-        assert sorted(EQUIVALENCE_SCENARIO_OVERRIDES) == registry.SCENARIOS.names()
+        from conftest import builtin_scenario_names
+
+        assert sorted(EQUIVALENCE_SCENARIO_OVERRIDES) == builtin_scenario_names()
 
     @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("name", sorted(EQUIVALENCE_SCENARIO_OVERRIDES))
