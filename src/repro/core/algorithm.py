@@ -320,4 +320,8 @@ def aopt_factory(config: AOPTConfig):
     def factory(_node_id: NodeId) -> AOPT:
         return AOPT(config)
 
+    # Every node shares the same ``config`` object: the columnar backends
+    # use this marker to validate the factory by probing one node instead
+    # of instantiating an algorithm per node just to compare configs.
+    factory.uniform_config = True
     return factory

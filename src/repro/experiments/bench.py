@@ -160,7 +160,8 @@ _WARMED: set = set()
 
 def _warm_backend(name: str) -> None:
     """One small untimed run so first-use initialisation (numpy ufunc and
-    dispatch caches in particular, ~70 ms) never lands in a measurement."""
+    dispatch caches, and for ``jit`` the one-off kernel compilation --
+    numba JIT or the on-demand C build) never lands in a measurement."""
     if name in _WARMED:
         return
     _WARMED.add(name)
@@ -283,6 +284,15 @@ def run_backend_bench(
 
             for name in backends:
                 backend = get_backend(name)
+                # One untimed warm run per (backend, grid point): the
+                # process-wide ``_warm_backend`` covers import-time caches,
+                # but size-dependent first-use costs (allocator growth,
+                # size-specialised dispatch) previously leaked into the
+                # first timed measurement of every new size.
+                warm_key = (name, kind, n)
+                if warm_key not in _WARMED:
+                    _WARMED.add(warm_key)
+                    run_once(backend)
                 best = math.inf
                 produced = pipeline = None
                 for _ in range(repeats):
@@ -318,6 +328,14 @@ def run_backend_bench(
             if "fast" in backends and "vec" in backends:
                 entry["vec_speedup_over_fast"] = (
                     entry["fast_seconds"] / entry["vec_seconds"]
+                )
+            if "reference" in backends and "jit" in backends:
+                entry["jit_speedup_over_reference"] = (
+                    entry["reference_seconds"] / entry["jit_seconds"]
+                )
+            if "vec" in backends and "jit" in backends:
+                entry["jit_speedup_over_vec"] = (
+                    entry["vec_seconds"] / entry["jit_seconds"]
                 )
             if check_equivalence and len(payloads) > 1:
                 first = next(iter(payloads.values()))

@@ -185,7 +185,13 @@ def cmd_list(args: argparse.Namespace) -> int:
     backends = []
     for name in backend_names():
         if backend_available(name):
-            backends.append(name)
+            if name == "jit":
+                from ..jitsim import available_provider_names
+
+                providers = "/".join(available_provider_names())
+                backends.append(f"{name} (provider: {providers})")
+            else:
+                backends.append(name)
         else:
             backends.append(f"{name} [unavailable: pip install 'repro[{name}]']")
     print(f"backends:   {', '.join(backends)} (--set backend=...)")
@@ -451,6 +457,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         speedup_keys.append(("vec/fast", "vec_speedup_over_fast"))
     if "reference" in backends and "vec" in backends:
         speedup_keys.append(("vec/ref", "vec_speedup_over_reference"))
+    if "vec" in backends and "jit" in backends:
+        speedup_keys.append(("jit/vec", "jit_speedup_over_vec"))
+    if "reference" in backends and "jit" in backends:
+        speedup_keys.append(("jit/ref", "jit_speedup_over_reference"))
     columns += [label for label, _ in speedup_keys]
     if args.memory:
         columns += [f"{name} peak [MB]" for name in backends]

@@ -72,7 +72,7 @@ CACHE_FORMAT_VERSION = 5
 _UNSUPPORTED_KEY = "__unsupported_backend__"
 
 #: Backends whose cache-miss specs are grouped into lockstep batches.
-BATCHABLE_BACKENDS = ("vec",)
+BATCHABLE_BACKENDS = ("vec", "jit")
 
 #: Minimum group size for which run batching beats per-run execution.
 MIN_BATCH_SIZE = 2
@@ -236,11 +236,19 @@ def execute_specs_batched(
 
     Returns one payload per spec, bit-identical to :func:`execute_spec` of
     the same spec.  Raises :class:`UnsupportedScenarioError` if any spec
-    cannot run on the vec backend -- callers group with ``batch_key`` and
+    cannot run on its backend -- callers group with ``batch_key`` and
     fall back to per-run execution on failure.  ``telemetry_sinks``, when
     given, pairs one (possibly ``None``) live sink with each spec.
+
+    ``batch_key`` includes the backend, so every spec of a group shares
+    one; the group runs on that backend's batch builder (``vec`` or
+    ``jit`` -- the jit context fuses all runs of the batch into single
+    compiled kernel invocations per segment).
     """
-    from ..vecsim.engine import build_batch
+    if specs and specs[0].backend == "jit":
+        from ..jitsim.engine import build_batch
+    else:
+        from ..vecsim.engine import build_batch
 
     started = time.perf_counter()
     if telemetry_sinks is None:
@@ -323,14 +331,30 @@ class SweepStats:
     batched: int = 0
     #: Specs whose backend could not run them and fell back to reference.
     fallbacks: int = 0
+    #: Fallback counts keyed by the backend that was originally requested
+    #: (e.g. ``{"jit": 2, "vec": 1}``), so jit fallbacks are reported
+    #: distinctly from vec ones.
+    fallback_backends: Dict[str, int] = field(default_factory=dict)
     wall_time: float = 0.0
+
+    def count_fallback(self, backend: str) -> None:
+        """Record one reference fallback requested as ``backend``."""
+        self.fallbacks += 1
+        self.fallback_backends[backend] = self.fallback_backends.get(backend, 0) + 1
 
     def describe(self) -> str:
         extras = []
         if self.batched:
             extras.append(f"{self.batched} in vector batches")
         if self.fallbacks:
-            extras.append(f"{self.fallbacks} fell back to reference")
+            detail = ""
+            if self.fallback_backends:
+                parts = ", ".join(
+                    f"{count} from {backend}"
+                    for backend, count in sorted(self.fallback_backends.items())
+                )
+                detail = f" ({parts})"
+            extras.append(f"{self.fallbacks} fell back to reference{detail}")
         suffix = f" ({', '.join(extras)})" if extras else ""
         return (
             f"{self.total} spec(s): {self.cached} from cache, "
@@ -785,7 +809,7 @@ def run_sweep(
                 )
                 run_specs[index] = spec
                 requested[index] = specs[index].backend
-                batch.fallbacks += 1
+                batch.count_fallback(specs[index].backend)
                 fell_back = True
             if use_cache and not from_cache:
                 cache.store(spec, payload)
@@ -892,6 +916,10 @@ class ExperimentRunner:
         self.stats.executed += batch.executed
         self.stats.batched += batch.batched
         self.stats.fallbacks += batch.fallbacks
+        for backend, count in batch.fallback_backends.items():
+            self.stats.fallback_backends[backend] = (
+                self.stats.fallback_backends.get(backend, 0) + count
+            )
         self.stats.wall_time += batch.wall_time
         return runs, batch
 

@@ -9,7 +9,7 @@ the surface the executor and the summary code rely on:
   checks)
 * ``logical_value`` / ``hardware_value`` / ``global_skew`` (tests, analyses)
 
-Three backends ship with the library:
+Four backends ship with the library:
 
 * ``"reference"`` -- the object-oriented :class:`repro.sim.engine.Engine`,
   faithful and fully general;
@@ -21,7 +21,14 @@ Three backends ship with the library:
   whole-array kernels per step (and run batching, see
   :mod:`repro.vecsim`).  It needs :mod:`numpy` (``pip install repro[vec]``);
   without numpy the backend stays registered but :meth:`VecBackend.build`
-  raises :class:`BackendUnavailableError`.
+  raises :class:`BackendUnavailableError`;
+* ``"jit"`` -- the compiled fused-time-loop :class:`repro.jitsim.JitEngine`,
+  same supported scenarios and bit-identity contract as ``vec`` but with
+  regular step segments executed in one compiled kernel call (numba when
+  importable -- ``pip install 'repro[jit]'`` -- else the bundled C kernel
+  compiled on demand with the system toolchain).  Without numpy *and* a
+  kernel provider, :meth:`JitBackend.build` raises
+  :class:`BackendUnavailableError`.
 
 Backends are selected per scenario through the ``backend`` field of
 :class:`repro.experiments.spec.ScenarioSpec` (and hence from the CLI via
@@ -144,6 +151,43 @@ class VecBackend:
         return VecEngine(graph, algorithm_factory, config)
 
 
+class JitBackend:
+    """The compiled fused-time-loop engine (AOPT + oracle, bit-identical).
+
+    Registered unconditionally like ``vec``; building needs numpy plus a
+    kernel provider (numba, or a working C compiler for the bundled kernel
+    source -- see :mod:`repro.jitsim.providers`).  The backend always builds
+    exact (float64) engines; the opt-in float32 mode is an engine-level
+    flag outside the registry on purpose, so every spec routed through the
+    backend stays bit-identical to reference/fast/vec.
+    """
+
+    name = "jit"
+
+    def available(self) -> bool:
+        if not _numpy_available():
+            return False
+        from ..jitsim import providers
+
+        return providers.provider_available()
+
+    def build(
+        self,
+        graph: DynamicGraph,
+        algorithm_factory: AlgorithmFactory,
+        config: SimulationConfig,
+    ):
+        if not self.available():
+            raise BackendUnavailableError(
+                "the 'jit' backend needs numpy and a kernel provider "
+                "(numba -- pip install 'repro[jit]' -- or a C compiler); "
+                "installed backends: " + ", ".join(available_backend_names())
+            )
+        from ..jitsim.engine import JitEngine
+
+        return JitEngine(graph, algorithm_factory, config)
+
+
 BACKENDS: Dict[str, EngineBackend] = {}
 
 
@@ -189,3 +233,4 @@ def available_backend_names() -> List[str]:
 register_backend(ReferenceBackend())
 register_backend(FastBackend())
 register_backend(VecBackend())
+register_backend(JitBackend())

@@ -23,7 +23,7 @@ from ..core.aopt_step import ThresholdTable, edge_threshold_table
 from ..core.neighbor_sets import NeighborLevels
 from ..core.parameters import Parameters
 from ..network.dynamic_graph import DynamicGraph
-from ..network.edge import NodeId
+from ..network.edge import DEFAULT_EDGE_PARAMS, NodeId
 
 
 class NodeColumns:
@@ -131,23 +131,48 @@ class CSRAdjacency:
         row_pos: List[Dict[NodeId, int]] = []
         max_level = self.max_level
         max_degree = 0
-        edge_params = graph.edge_params
+        # One bulk snapshot of the edge-parameter map keyed by plain
+        # ``(min, max)`` tuples: the per-edge ``graph.edge_params(u, v)``
+        # path allocates an EdgeKey dataclass per call, which dominates
+        # rebuild time on large graphs.  Distinct EdgeParams objects also
+        # memoize their column values so homogeneous graphs resolve each
+        # edge with two dict hits and no attribute loads.
+        params_map = {
+            (key.a, key.b): value
+            for key, value in graph.known_edge_params().items()
+        }
+        default = DEFAULT_EDGE_PARAMS
+        column_memo: Dict[int, tuple] = {}
         for node in graph.nodes:
             position = index[node]
             node_levels = levels[position]
+            level_of = node_levels.level_of
             pos: Dict[NodeId, int] = {}
             row_start = len(neighbor_index)
             for nbr in sorted(graph.neighbors_view(node)):
-                edge = edge_params(node, nbr)
-                raw = node_levels.level_of(nbr)
+                edge = params_map.get(
+                    (node, nbr) if node < nbr else (nbr, node), default
+                )
+                # Keyed by object identity: ``params_map`` keeps every edge
+                # object alive for the duration of the rebuild, so ids are
+                # stable here.
+                memo = column_memo.get(id(edge))
+                if memo is None:
+                    memo = (
+                        edge.epsilon,
+                        edge.delay,
+                        self.table_for(edge.epsilon, edge.tau),
+                    )
+                    column_memo[id(edge)] = memo
+                raw = level_of(nbr)
                 if raw is None:
                     raw = 0
                 pos[nbr] = len(neighbor_index)
                 neighbor_index.append(index[nbr])
-                epsilon_col.append(edge.epsilon)
-                delay_col.append(edge.delay)
+                epsilon_col.append(memo[0])
+                delay_col.append(memo[1])
                 level_col.append(max_level if raw >= max_level else raw)
-                tables.append(self.table_for(edge.epsilon, edge.tau))
+                tables.append(memo[2])
             degree = len(neighbor_index) - row_start
             if degree > max_degree:
                 max_degree = degree

@@ -176,15 +176,20 @@ class FastEngine:
                 f"{type(probe).__name__}; use backend='reference'"
             )
         aopt_config: AOPTConfig = probe.config
-        for nid in ids[1:]:
-            other = algorithm_factory(nid)
-            if not isinstance(other, AOPT) or not (
-                other.config is aopt_config or other.config == aopt_config
-            ):
-                raise UnsupportedScenarioError(
-                    "the fast backend needs one shared AOPT configuration "
-                    "for every node; use backend='reference'"
-                )
+        # Factories that declare uniform_config (e.g. ``aopt_factory``)
+        # promise every node gets the same config object, so probing one
+        # node suffices; otherwise instantiate each node's algorithm to
+        # check the shared-configuration requirement.
+        if not getattr(algorithm_factory, "uniform_config", False):
+            for nid in ids[1:]:
+                other = algorithm_factory(nid)
+                if not isinstance(other, AOPT) or not (
+                    other.config is aopt_config or other.config == aopt_config
+                ):
+                    raise UnsupportedScenarioError(
+                        "the fast backend needs one shared AOPT configuration "
+                        "for every node; use backend='reference'"
+                    )
         self.aopt_config = aopt_config
         self.aopt_params = aopt_config.params
         self.max_level = aopt_config.max_level

@@ -1,0 +1,362 @@
+"""Kernel providers for the jit backend.
+
+The fused segment kernel (:mod:`repro.jitsim.kernel`) has three executable
+forms, resolved in this order:
+
+``numba``
+    ``numba.njit``-compiled Python kernel (the preferred form from
+    ISSUE/ROADMAP; used automatically whenever numba is importable, e.g. on
+    the numba-equipped CI leg).
+``cc``
+    The C port (``_fused_loop.c``) compiled on demand into a cached shared
+    library with the system C compiler and called through :mod:`ctypes`.
+    Compile flags are ``-O2 -ffp-contract=off`` and deliberately *not*
+    ``-march=native`` / ``-ffast-math``: plain IEEE-754 double ops in source
+    order, so the library is bit-identical to the Python kernel.
+``python``
+    The interpreted kernel itself.  Slower than vecsim's whole-array NumPy
+    for large ``n`` (it exists for differential testing where no compiler
+    toolchain is available), so it is **opt-in only** via
+    ``REPRO_JIT_PROVIDER=python`` -- the jit backend reports unavailable
+    rather than silently running an interpreted "compiled tier".
+
+``REPRO_JIT_PROVIDER`` forces a specific provider (``numba`` / ``cc`` /
+``python``) and raises :class:`ProviderUnavailableError` if that provider
+cannot be used.  ``REPRO_JIT_CACHE_DIR`` overrides where compiled shared
+libraries are cached (default ``~/.cache/repro-jitsim``).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+__all__ = [
+    "KernelProvider",
+    "ProviderUnavailableError",
+    "available_provider_names",
+    "get_provider",
+    "provider_available",
+    "reset_provider_cache",
+]
+
+PROVIDER_ENV = "REPRO_JIT_PROVIDER"
+CACHE_DIR_ENV = "REPRO_JIT_CACHE_DIR"
+
+#: Bump when the kernel ABI (argument list) changes so stale cached shared
+#: libraries are never loaded.
+_KERNEL_ABI = 1
+
+#: ctypes argument spec for ``fused_segment`` in canonical order.  ``real``
+#: arrays are double in exact mode and float in the opt-in float32 mode.
+_ARG_KINDS = (
+    "i64",  # n_nodes
+    "i64",  # n_engines
+    "i64",  # steps
+    "f64",  # dt
+    "f64*",  # t_steps
+    "i64*",  # engine_start
+    "i64*",  # engine_of
+    "real*",  # hardware
+    "real*",  # logical
+    "real*",  # last_hardware
+    "real*",  # max_estimate
+    "real*",  # next_broadcast
+    "real*",  # multiplier
+    "i64*",  # mode
+    "real*",  # iota
+    "real*",  # fast_mult
+    "real*",  # max_factor
+    "real*",  # rates
+    "real*",  # bcast_interval
+    "i64*",  # strategy
+    "i64*",  # indptr
+    "i64*",  # nbr
+    "real*",  # eps
+    "i64*",  # level
+    "i64*",  # table_id
+    "real*",  # thresholds
+    "i64",  # n_levels
+    "i64*",  # sb_indptr
+    "i64*",  # sb_recv
+    "f64*",  # sb_bound
+    "f64*",  # sb_static
+    "i64*",  # dp_kind
+    "f64*",  # dp_low
+    "f64*",  # dp_span
+    "i64*",  # mt_state
+    "i64*",  # mt_pos
+    "i64",  # n_pend
+    "i64*",  # pend_recv
+    "real*",  # pend_val
+    "f64*",  # pend_time
+    "i64",  # cap_total
+    "i64*",  # bh_head
+    "i64*",  # bh_next
+    "i64*",  # b_recv
+    "real*",  # b_val
+    "f64*",  # b_time
+    "i64*",  # sent
+    "i64*",  # delivered
+    "i64",  # n_snap
+    "i64*",  # snap_step
+    "i64*",  # snap_engine
+    "i64*",  # snap_offset
+    "real*",  # snap_logical
+    "real*",  # snap_hardware
+    "real*",  # snap_multiplier
+    "real*",  # snap_max_estimate
+    "i64*",  # snap_mode
+    "i64*",  # left_recv
+    "real*",  # left_val
+    "f64*",  # left_time
+    "i64*",  # out_counts
+    "real*",  # ahead_scratch
+    "i64*",  # level_scratch
+    "i64*",  # tid_scratch
+)
+
+
+class ProviderUnavailableError(RuntimeError):
+    """No kernel provider (numba / C toolchain) can run the jit backend."""
+
+
+class KernelProvider:
+    """One executable form of the fused segment kernel.
+
+    ``name`` is ``numba`` / ``cc`` / ``python``; ``real_dtype(float32)``
+    names the numpy dtype state columns must use, and ``fused_segment`` runs
+    one segment (canonical argument order, returns the int status).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def real_dtype(self, float32: bool):
+        import numpy as np
+
+        return np.float32 if float32 else np.float64
+
+    def fused_segment(self, *args):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class _PythonProvider(KernelProvider):
+    """Interpreted (or numba-compiled, when numba is importable) kernel."""
+
+    def __init__(self, name: str = "python"):
+        super().__init__(name)
+        from . import kernel
+
+        self._kernel = kernel
+
+    def fused_segment(self, *args):
+        return int(self._kernel.fused_segment(*args))
+
+
+class _CCProvider(KernelProvider):
+    """The compiled C kernel, loaded per real-dtype via ctypes."""
+
+    def __init__(self, compiler: str):
+        super().__init__("cc")
+        self._compiler = compiler
+        self._libs = {}
+
+    def _function(self, float32: bool):
+        fn = self._libs.get(float32)
+        if fn is None:
+            lib = ctypes.CDLL(str(_compiled_library(self._compiler, float32)))
+            fn = lib.fused_segment
+            fn.restype = ctypes.c_int64
+            self._libs[float32] = fn
+        return fn
+
+    def fused_segment(self, *args):
+        import numpy as np
+
+        float32 = bool(args[7].dtype == np.float32)  # hardware column
+        fn = self._function(float32)
+        cargs = []
+        for kind, value in zip(_ARG_KINDS, args):
+            if kind == "i64":
+                cargs.append(ctypes.c_int64(int(value)))
+            elif kind == "f64":
+                cargs.append(ctypes.c_double(float(value)))
+            else:
+                if not value.flags["C_CONTIGUOUS"]:  # pragma: no cover
+                    raise ValueError("kernel arrays must be C-contiguous")
+                cargs.append(ctypes.c_void_p(value.ctypes.data))
+        return int(fn(*cargs))
+
+
+def _source_path() -> Path:
+    return Path(__file__).with_name("_fused_loop.c")
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-jitsim"
+
+
+def _find_compiler() -> Optional[str]:
+    for candidate in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if candidate and shutil.which(candidate):
+            return candidate
+    return None
+
+
+def _compiled_library(compiler: str, float32: bool) -> Path:
+    """Compile (or reuse the cached) shared library for one real dtype.
+
+    The cache key hashes the kernel source, the ABI version, the compiler
+    name and the dtype, so editing the kernel or switching toolchains never
+    loads a stale library.  Compilation is atomic (build to a temp file,
+    ``os.replace`` into place) so concurrent sweep workers race benignly.
+    """
+    source = _source_path()
+    payload = source.read_bytes()
+    # -O3 without any of the value-changing flags: no -ffast-math, no
+    # -march=native, contraction off -- plain IEEE-754 ops in source order,
+    # so the library stays bit-identical to the Python/numba kernel.
+    flags = ["-O3", "-fPIC", "-shared", "-ffp-contract=off"]
+    if float32:
+        flags.append("-DJIT_REAL=float")
+    tag = hashlib.sha256(
+        b"|".join(
+            [
+                payload,
+                str(_KERNEL_ABI).encode(),
+                compiler.encode(),
+                " ".join(flags).encode(),
+            ]
+        )
+    ).hexdigest()[:16]
+    cache = _cache_dir()
+    lib_path = cache / f"fused_loop_{'f32' if float32 else 'f64'}_{tag}.so"
+    if lib_path.exists():
+        return lib_path
+    cache.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(cache))
+    os.close(fd)
+    cmd = [compiler] + flags + ["-o", tmp, str(source)]
+    try:
+        subprocess.run(
+            cmd,
+            check=True,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        os.replace(tmp, lib_path)
+    except (OSError, subprocess.CalledProcessError) as exc:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise ProviderUnavailableError(
+            f"compiling the jit kernel with {compiler!r} failed: {exc}"
+        ) from exc
+    return lib_path
+
+
+def _numpy_available() -> bool:
+    import importlib.util
+
+    return importlib.util.find_spec("numpy") is not None
+
+
+def _numba_available() -> bool:
+    from . import kernel
+
+    return kernel.NUMBA_AVAILABLE
+
+
+def _cc_usable() -> bool:
+    """Whether the C provider can actually produce a library (cached)."""
+    compiler = _find_compiler()
+    if compiler is None:
+        return False
+    try:
+        _compiled_library(compiler, False)
+    except ProviderUnavailableError:
+        return False
+    return True
+
+
+_RESOLVED: Optional[tuple] = None
+
+
+def reset_provider_cache() -> None:
+    """Forget the resolved provider (tests flip env vars / monkeypatches)."""
+    global _RESOLVED
+    _RESOLVED = None
+
+
+def _resolve() -> Optional[KernelProvider]:
+    if not _numpy_available():
+        return None
+    forced = os.environ.get(PROVIDER_ENV)
+    if forced:
+        if forced == "numba":
+            if not _numba_available():
+                raise ProviderUnavailableError(
+                    "REPRO_JIT_PROVIDER=numba but numba is not importable"
+                )
+            return _PythonProvider("numba")
+        if forced == "cc":
+            compiler = _find_compiler()
+            if compiler is None or not _cc_usable():
+                raise ProviderUnavailableError(
+                    "REPRO_JIT_PROVIDER=cc but no working C compiler was found"
+                )
+            return _CCProvider(compiler)
+        if forced == "python":
+            return _PythonProvider("python")
+        raise ProviderUnavailableError(
+            f"unknown REPRO_JIT_PROVIDER {forced!r} (use numba, cc or python)"
+        )
+    if _numba_available():
+        return _PythonProvider("numba")
+    if _cc_usable():
+        return _CCProvider(_find_compiler())
+    return None
+
+
+def get_provider() -> Optional[KernelProvider]:
+    """The resolved kernel provider for this process, or ``None``.
+
+    Resolution (numba import probe, compile self-check) runs once; tests
+    that monkeypatch availability call :func:`reset_provider_cache`.
+    Raises :class:`ProviderUnavailableError` when ``REPRO_JIT_PROVIDER``
+    names a provider that cannot run.
+    """
+    global _RESOLVED
+    if _RESOLVED is None:
+        _RESOLVED = (_resolve(),)
+    return _RESOLVED[0]
+
+
+def provider_available() -> bool:
+    try:
+        return get_provider() is not None
+    except ProviderUnavailableError:
+        return False
+
+
+def available_provider_names() -> list:
+    """All providers that could run here (diagnostics, ``repro-experiments list``)."""
+    names = []
+    if _numpy_available():
+        if _numba_available():
+            names.append("numba")
+        if _cc_usable():
+            names.append("cc")
+        names.append("python")
+    return names

@@ -663,6 +663,7 @@ class SweepService:
         """The ``/healthz`` payload body (sans HTTP framing)."""
         from .. import __version__
         from ..experiments.executor import CACHE_FORMAT_VERSION
+        from ..fastsim.backend import backend_available, backend_names
 
         with self._lock:
             counters = dict(self.counters)
@@ -671,6 +672,9 @@ class SweepService:
             "status": "ok",
             "version": __version__,
             "cache_format_version": CACHE_FORMAT_VERSION,
+            "backends": {
+                name: backend_available(name) for name in backend_names()
+            },
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "workers": self.config.workers,
             "sweep_workers": self.config.sweep_workers,

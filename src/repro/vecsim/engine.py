@@ -362,49 +362,74 @@ class _CombinedCSR:
     )
 
     def __init__(self, engines: Sequence["VecEngine"], node_count: int):
-        neighbor: List[int] = []
-        epsilon: List[float] = []
-        level: List[int] = []
-        table_id: List[int] = []
-        indptr: List[int] = [0]
+        neighbor_parts: List[np.ndarray] = []
+        epsilon_parts: List[np.ndarray] = []
+        level_parts: List[np.ndarray] = []
+        table_id_parts: List[np.ndarray] = []
+        indptr_parts: List[np.ndarray] = [np.zeros(1, dtype=np.int64)]
+        edge_count = 0
         tables: List = []
         table_pos: Dict = {}
         id_memo: Dict[int, int] = {}
         for engine in engines:
             csr = engine._csr
-            engine._edge_offset = len(neighbor)
+            engine._edge_offset = edge_count
             offset = engine._offset
-            neighbor.extend(offset + idx for idx in csr.neighbor_index)
-            epsilon.extend(csr.epsilon)
-            level.extend(csr.level)
+            part = np.asarray(csr.neighbor_index, dtype=np.int64)
+            if offset:
+                part = part + offset
+            neighbor_parts.append(part)
+            epsilon_parts.append(np.asarray(csr.epsilon, dtype=np.float64))
+            level_parts.append(np.asarray(csr.level, dtype=np.int64))
             # Deduplicate by value so engines with identical edge parameters
             # share one table row (enables the single-table fast paths); the
             # id-level memo keeps the per-edge cost at one dict hit, since
-            # each engine reuses a handful of table objects.
-            for table in csr.tables:
-                tid = id_memo.get(id(table))
+            # each engine reuses a handful of table objects.  Engines whose
+            # threshold cache holds a single table (every homogeneous bench
+            # and paper scenario) resolve the whole column in one step.
+            csr_tables = csr.tables
+            if len(csr._table_cache) == 1 and csr_tables:
+                tid = id_memo.get(id(csr_tables[0]))
                 if tid is None:
+                    table = csr_tables[0]
                     tid = table_pos.get(table)
                     if tid is None:
                         tid = len(tables)
                         table_pos[table] = tid
                         tables.append(table)
                     id_memo[id(table)] = tid
-                table_id.append(tid)
-            base = indptr[-1]
-            indptr.extend(base + end for end in csr.indptr[1:])
-        self.edge_count = len(neighbor)
-        self.neighbor_index = np.asarray(neighbor, dtype=np.int64)
-        self.epsilon = np.asarray(epsilon, dtype=np.float64)
-        self.level = np.asarray(level, dtype=np.int64)
-        self.table_id = np.asarray(table_id, dtype=np.int64)
+                table_id_parts.append(
+                    np.full(len(csr_tables), tid, dtype=np.int64)
+                )
+            else:
+                table_id: List[int] = []
+                for table in csr_tables:
+                    tid = id_memo.get(id(table))
+                    if tid is None:
+                        tid = table_pos.get(table)
+                        if tid is None:
+                            tid = len(tables)
+                            table_pos[table] = tid
+                            tables.append(table)
+                        id_memo[id(table)] = tid
+                    table_id.append(tid)
+                table_id_parts.append(np.asarray(table_id, dtype=np.int64))
+            indptr_parts.append(
+                np.asarray(csr.indptr[1:], dtype=np.int64) + edge_count
+            )
+            edge_count += len(csr.neighbor_index)
+        self.edge_count = edge_count
+        self.neighbor_index = np.concatenate(neighbor_parts) if neighbor_parts else np.zeros(0, dtype=np.int64)
+        self.epsilon = np.concatenate(epsilon_parts) if epsilon_parts else np.zeros(0, dtype=np.float64)
+        self.level = np.concatenate(level_parts) if level_parts else np.zeros(0, dtype=np.int64)
+        self.table_id = np.concatenate(table_id_parts) if table_id_parts else np.zeros(0, dtype=np.int64)
         self.max_level = max((e.max_level for e in engines), default=1)
         thresholds = np.full((max(len(tables), 1), 4, self.max_level), np.inf)
         for tid, table in enumerate(tables):
             for row, values in enumerate(table):
                 thresholds[tid, row, : len(values)] = values
         self.thresholds = thresholds
-        indptr_arr = np.asarray(indptr, dtype=np.int64)
+        indptr_arr = np.concatenate(indptr_parts)
         self.row_owner = np.repeat(
             np.arange(node_count, dtype=np.int64), np.diff(indptr_arr)
         )
@@ -665,22 +690,71 @@ class VecEngine(FastEngine):
         receivers: List[int] = []
         bounds: List[float] = []
         static: List[float] = []
+        # ``pairs`` is consumed only by the generic scalar delay plan; the
+        # static and uniform plans never read it, so skip building the
+        # per-edge tuple list for them (it is the most expensive column).
+        need_pairs = type(plan) is _GenericDelayPlan
         pairs: List[Tuple[NodeId, NodeId, float]] = []
+        if not plan.static and not need_pairs:
+            # Fast path (zero-arg and uniform plans): collect only the CSR
+            # slot per fan-out entry -- every other column is a gather from
+            # the CSR arrays.  ``neighbor_index`` already holds the
+            # receiver's position, so the per-edge ``index[neighbor]`` dict
+            # lookup disappears too.
+            slots: List[int] = []
+            counts: List[int] = []
+            slots_append = slots.append
+            counts_append = counts.append
+            row_pos = csr.row_pos
+            levels = self._levels
+            for position in range(len(self._cols.ids)):
+                row_get = row_pos[position].get
+                start = len(slots)
+                for neighbor in levels[position].discovered():
+                    slot = row_get(neighbor)
+                    if slot is not None:
+                        slots_append(slot)
+                counts_append(len(slots) - start)
+            slot_arr = np.asarray(slots, dtype=np.int64)
+            owner_arr = np.repeat(
+                np.arange(len(counts), dtype=np.int64),
+                np.asarray(counts, dtype=np.int64),
+            )
+            nbr_arr = np.asarray(csr.neighbor_index, dtype=np.int64)
+            bound_arr = np.asarray(delay_col, dtype=np.float64)
+            flat = (
+                owner_arr,
+                nbr_arr[slot_arr] + offset,
+                bound_arr[slot_arr],
+                None,
+                pairs,
+            )
+            self._bc_flat = flat
+            return flat
+        plan_static = plan.static
+        owner_append = owner.append
+        receivers_append = receivers.append
+        bounds_append = bounds.append
+        pairs_append = pairs.append
+        static_append = static.append
+        row_pos = csr.row_pos
+        levels = self._levels
         for position, node in enumerate(self._cols.ids):
             # The CSR is rebuilt before the control phase whenever the graph
             # changed, so row membership is the live adjacency.
-            row = csr.row_pos[position]
-            for neighbor in self._levels[position].discovered():
-                slot = row.get(neighbor)
+            row_get = row_pos[position].get
+            for neighbor in levels[position].discovered():
+                slot = row_get(neighbor)
                 if slot is None:
                     continue
                 bound = delay_col[slot]
-                owner.append(position)
-                receivers.append(offset + index[neighbor])
-                bounds.append(bound)
-                pairs.append((node, neighbor, bound))
-                if plan.static:
-                    static.append(plan.static_delay(node, neighbor, bound))
+                owner_append(position)
+                receivers_append(offset + index[neighbor])
+                bounds_append(bound)
+                if need_pairs:
+                    pairs_append((node, neighbor, bound))
+                if plan_static:
+                    static_append(plan.static_delay(node, neighbor, bound))
         flat = (
             np.asarray(owner, dtype=np.int64),
             np.asarray(receivers, dtype=np.int64),

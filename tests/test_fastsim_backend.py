@@ -33,13 +33,14 @@ from repro.sim.runner import SimulationConfig
 
 class TestBackendRegistry:
     def test_builtin_backends_are_registered(self):
-        assert backend_names() == ["fast", "reference", "vec"]
+        assert backend_names() == ["fast", "jit", "reference", "vec"]
         assert get_backend("fast").name == "fast"
+        assert get_backend("jit").name == "jit"
         assert get_backend("reference").name == "reference"
         assert get_backend("vec").name == "vec"
 
     def test_unknown_backend_lists_known_names(self):
-        with pytest.raises(BackendError, match="fast, reference"):
+        with pytest.raises(BackendError, match="fast, jit, reference"):
             get_backend("warp")
 
     def test_duplicate_registration_is_rejected(self):

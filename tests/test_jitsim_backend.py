@@ -1,0 +1,242 @@
+"""Unit tests for the jitsim subsystem: backend plumbing, provider
+resolution, graceful degradation without numba/compiler, cache-key suffix,
+batch dispatch, executor fallback accounting and the float32 opt-in."""
+
+import logging
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    batch_key,
+    execute_spec,
+    execute_specs_batched,
+    registry,
+    scenario,
+)
+from repro.experiments.executor import ResultCache, SweepStats
+from repro.fastsim import backend as backend_mod
+from repro.fastsim import (
+    BackendUnavailableError,
+    backend_available,
+    get_backend,
+)
+
+np = pytest.importorskip("numpy")
+
+from repro.jitsim import providers  # noqa: E402
+from repro.jitsim import (  # noqa: E402
+    JitEngine,
+    ProviderUnavailableError,
+    provider_available,
+    reset_provider_cache,
+)
+
+
+def quick_spec(**overrides):
+    defaults = dict(n=5, sim={"duration": 6.0})
+    defaults.update(overrides)
+    return scenario("quickstart_line", **defaults)
+
+
+@pytest.fixture
+def fresh_providers(monkeypatch):
+    """Reset the resolved-provider cache around a test that monkeypatches
+    availability probes, and again afterwards so later tests see reality."""
+    reset_provider_cache()
+    yield monkeypatch
+    reset_provider_cache()
+
+
+class TestJitBackendRegistration:
+    def test_jit_backend_is_registered(self):
+        backend = get_backend("jit")
+        assert backend.name == "jit"
+
+    @pytest.mark.skipif(not provider_available(), reason="no jit provider here")
+    def test_build_returns_a_jit_engine(self):
+        materialised = registry.build_scenario(quick_spec(backend="jit"))
+        engine = get_backend("jit").build(
+            materialised.graph, materialised.algorithm_factory, materialised.config
+        )
+        assert isinstance(engine, JitEngine)
+
+    @pytest.mark.skipif(not provider_available(), reason="no jit provider here")
+    def test_backend_never_enables_float32(self):
+        """The registry only ever builds exact engines; float32 is an
+        engine-level experiment flag outside the spec/cache contract."""
+        materialised = registry.build_scenario(quick_spec(backend="jit"))
+        engine = get_backend("jit").build(
+            materialised.graph, materialised.algorithm_factory, materialised.config
+        )
+        assert engine._ctx._float32 is False
+
+
+class TestProviderResolution:
+    def test_unavailable_without_numba_and_compiler(self, fresh_providers):
+        fresh_providers.delenv(providers.PROVIDER_ENV, raising=False)
+        fresh_providers.setattr(providers, "_numba_available", lambda: False)
+        fresh_providers.setattr(providers, "_cc_usable", lambda: False)
+        assert provider_available() is False
+        assert backend_available("jit") is False
+
+    def test_build_raises_backend_unavailable(self, fresh_providers):
+        fresh_providers.delenv(providers.PROVIDER_ENV, raising=False)
+        fresh_providers.setattr(providers, "_numba_available", lambda: False)
+        fresh_providers.setattr(providers, "_cc_usable", lambda: False)
+        materialised = registry.build_scenario(quick_spec(backend="jit"))
+        with pytest.raises(BackendUnavailableError) as excinfo:
+            get_backend("jit").build(
+                materialised.graph,
+                materialised.algorithm_factory,
+                materialised.config,
+            )
+        message = str(excinfo.value)
+        assert "numba" in message
+        # The error lists the backends that can actually run.
+        assert "fast" in message and "reference" in message
+
+    def test_unavailable_without_numpy(self, fresh_providers):
+        fresh_providers.setattr(backend_mod, "_numpy_available", lambda: False)
+        assert backend_available("jit") is False
+
+    def test_forced_unknown_provider_reports_unavailable(self, fresh_providers):
+        fresh_providers.setenv(providers.PROVIDER_ENV, "warp-drive")
+        with pytest.raises(ProviderUnavailableError, match="warp-drive"):
+            providers.get_provider()
+        assert provider_available() is False
+
+    def test_forced_python_provider_resolves(self, fresh_providers):
+        fresh_providers.setenv(providers.PROVIDER_ENV, "python")
+        provider = providers.get_provider()
+        assert provider is not None
+        assert provider.name == "python"
+        # The pure-python provider is opt-in only: it never wins the
+        # unforced resolution race (numba -> cc -> None).
+        assert "python" in providers.available_provider_names()
+
+    def test_cli_list_marks_jit_unavailable(self, fresh_providers, capsys):
+        from repro.experiments import cli
+
+        fresh_providers.delenv(providers.PROVIDER_ENV, raising=False)
+        fresh_providers.setattr(providers, "_numba_available", lambda: False)
+        fresh_providers.setattr(providers, "_cc_usable", lambda: False)
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "jit [unavailable" in out
+
+    def test_healthz_reports_backend_availability(self, tmp_path):
+        from repro.service.core import ServiceConfig, SweepService
+
+        service = SweepService(
+            tmp_path / "cache", config=ServiceConfig(workers=1)
+        )
+        payload = service.describe()
+        assert set(payload["backends"]) == {"fast", "jit", "reference", "vec"}
+        assert payload["backends"]["reference"] is True
+        assert payload["backends"]["jit"] == backend_available("jit")
+
+
+class TestCacheKeySuffix:
+    def test_jit_results_get_their_own_cache_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = quick_spec()
+        reference_key = cache.key_for(spec)
+        jit_key = cache.key_for(spec.with_backend("jit"))
+        assert jit_key == reference_key + ".jit"
+
+    def test_backend_is_excluded_from_the_content_hash(self):
+        spec = quick_spec()
+        assert spec.with_backend("jit").content_hash() == spec.content_hash()
+
+
+@pytest.mark.skipif(not provider_available(), reason="no jit provider here")
+class TestBatchDispatch:
+    def test_jit_specs_are_batchable(self):
+        key = batch_key(quick_spec(backend="jit"))
+        assert key is not None
+        assert key[0] == "jit"
+
+    def test_jit_and_vec_batches_never_mix(self):
+        jit_key = batch_key(quick_spec(backend="jit"))
+        vec_key = batch_key(quick_spec(backend="vec"))
+        assert jit_key != vec_key
+
+    def test_mixed_backend_list_runs_each_on_its_engine(self):
+        specs = [quick_spec(backend="jit"), quick_spec(n=6, backend="vec")]
+        payloads = execute_specs_batched(specs)
+        for spec, payload in zip(specs, payloads):
+            expected = execute_spec(spec.with_backend("reference"))
+            assert payload["trace"] == expected["trace"]
+            assert payload["summary"] == expected["summary"]
+
+
+class TestFallbackAccounting:
+    def unsupported_spec(self):
+        return scenario(
+            "quickstart_line",
+            n=4,
+            algorithm="MaxPropagation",
+            sim={"duration": 2.0},
+            backend="jit",
+        )
+
+    def test_sweep_stats_tracks_fallback_origin_backends(self):
+        stats = SweepStats(total=4)
+        stats.count_fallback("jit")
+        stats.count_fallback("jit")
+        stats.count_fallback("vec")
+        assert stats.fallbacks == 3
+        assert stats.fallback_backends == {"jit": 2, "vec": 1}
+        description = stats.describe()
+        assert "3 fell back to reference" in description
+        assert "2 from jit" in description
+        assert "1 from vec" in description
+
+    @pytest.mark.skipif(not provider_available(), reason="no jit provider here")
+    def test_jit_fallback_is_counted_per_backend(self, tmp_path, caplog):
+        runner = ExperimentRunner(cache_dir=tmp_path, workers=1)
+        with caplog.at_level(
+            logging.WARNING, logger="repro.experiments.executor"
+        ):
+            runs, stats = runner.run_all([self.unsupported_spec()])
+        assert stats.fallbacks == 1
+        assert stats.fallback_backends == {"jit": 1}
+        (run,) = runs
+        assert run.spec.backend == "reference"
+        assert run.requested_backend == "jit"
+        assert runner.stats.fallback_backends == {"jit": 1}
+
+
+@pytest.mark.skipif(not provider_available(), reason="no jit provider here")
+class TestFloat32OptIn:
+    def build_engine(self, **kwargs):
+        materialised = registry.build_scenario(quick_spec(sim={"duration": 10.0}))
+        return (
+            JitEngine(
+                materialised.graph,
+                materialised.algorithm_factory,
+                materialised.config,
+                **kwargs,
+            ),
+            materialised,
+        )
+
+    def test_float32_runs_and_stays_close_but_is_not_exact_contract(self):
+        exact, materialised = self.build_engine()
+        exact.run(materialised.config.duration)
+        narrowed, materialised = self.build_engine(float32=True)
+        assert narrowed._ctx._float32 is True
+        narrowed.run(materialised.config.duration)
+        exact_skews = [s.global_skew() for s in exact.trace.samples]
+        narrow_skews = [s.global_skew() for s in narrowed.trace.samples]
+        assert len(exact_skews) == len(narrow_skews)
+        # Approximate agreement only -- float32 is explicitly outside the
+        # bit-identical family, which is why the backend never enables it.
+        assert np.allclose(exact_skews, narrow_skews, rtol=1e-3, atol=1e-3)
+
+
+class TestUniformConfigMarker:
+    def test_aopt_factory_declares_uniform_config(self):
+        materialised = registry.build_scenario(quick_spec())
+        assert getattr(materialised.algorithm_factory, "uniform_config", False)
