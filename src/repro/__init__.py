@@ -39,7 +39,7 @@ from .sim.runner import (
     run_simulation,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AOPT",

@@ -1,7 +1,7 @@
 """Estimate layer abstraction, message types and bounded-delay transport."""
 
 from .estimate_layer import EstimateLayer, EstimateLayerError
-from .message_layer import BroadcastEstimateLayer
+from .message_layer import BroadcastEstimateLayer, broadcast_error_bound
 from .messages import ClockBroadcast, Envelope, InsertEdgeMessage
 from .oracle_layer import OracleEstimateLayer
 from .transport import Transport, TransportError
@@ -10,6 +10,7 @@ __all__ = [
     "EstimateLayer",
     "EstimateLayerError",
     "BroadcastEstimateLayer",
+    "broadcast_error_bound",
     "ClockBroadcast",
     "Envelope",
     "InsertEdgeMessage",

@@ -36,6 +36,24 @@ class _StoredEstimate:
     receipt_time: float
 
 
+def broadcast_error_bound(
+    delay_bound: float, broadcast_interval: float, rho: float, mu: float
+) -> float:
+    """Guaranteed estimate error of the broadcast layer for one edge.
+
+    Shared by :meth:`BroadcastEstimateLayer.error_bound` and the flat
+    engines' CSR columns, so the per-edge epsilon feeding the threshold
+    tables is the exact same float everywhere.
+    """
+    # Worst-case real-time staleness of the stored value: one full
+    # broadcast interval (measured on the sender's hardware clock, hence
+    # the 1/(1-rho) factor) plus the transit time of the next broadcast.
+    staleness_bound = broadcast_interval / (1.0 - rho) + delay_bound
+    transit_error = (1.0 + rho) * (1.0 + mu) * delay_bound
+    drift_error = (mu * (1.0 + rho) + 2.0 * rho) * staleness_bound
+    return transit_error + drift_error
+
+
 class BroadcastEstimateLayer(EstimateLayer):
     """Estimates extrapolated from the latest received clock broadcast."""
 
@@ -98,11 +116,6 @@ class BroadcastEstimateLayer(EstimateLayer):
 
     def error_bound(self, observer: NodeId, subject: NodeId) -> float:
         params = self.graph.edge_params(observer, subject)
-        delay_bound = params.delay
-        # Worst-case real-time staleness of the stored value: one full
-        # broadcast interval (measured on the sender's hardware clock, hence
-        # the 1/(1-rho) factor) plus the transit time of the next broadcast.
-        staleness_bound = self.broadcast_interval / (1.0 - self.rho) + delay_bound
-        transit_error = (1.0 + self.rho) * (1.0 + self.mu) * delay_bound
-        drift_error = (self.mu * (1.0 + self.rho) + 2.0 * self.rho) * staleness_bound
-        return transit_error + drift_error
+        return broadcast_error_bound(
+            params.delay, self.broadcast_interval, self.rho, self.mu
+        )

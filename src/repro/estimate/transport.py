@@ -8,7 +8,8 @@ while the message is in flight may be dropped (the model permits either).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..network.dynamic_graph import DynamicGraph
 from ..network.edge import NodeId
@@ -38,7 +39,11 @@ class Transport:
         self.graph = graph
         self.delay_model = delay_model
         self.drop_on_edge_loss = bool(drop_on_edge_loss)
-        self._in_flight: List[Envelope] = []
+        # Min-heap keyed on (delivery_time, message_id): deliveries_due pops
+        # due messages in exactly the (delivery_time, message_id) order the
+        # old scan-and-sort produced, without rescanning the whole queue
+        # every step.
+        self._in_flight: List[Tuple[float, int, Envelope]] = []
         self._sent_count = 0
         self._delivered_count = 0
         self._dropped_count = 0
@@ -82,7 +87,9 @@ class Transport:
             send_time=t,
             delivery_time=t + delay,
         )
-        self._in_flight.append(envelope)
+        heapq.heappush(
+            self._in_flight, (envelope.delivery_time, envelope.message_id, envelope)
+        )
         self._sent_count += 1
         return envelope
 
@@ -100,21 +107,17 @@ class Transport:
         """Remove and return the messages whose delivery time has been reached."""
         epsilon = 1e-12
         due: List[Envelope] = []
-        remaining: List[Envelope] = []
-        for envelope in self._in_flight:
-            if envelope.delivery_time <= t + epsilon:
-                if self.drop_on_edge_loss and not self.graph.has_directed_edge(
-                    envelope.receiver, envelope.sender
-                ):
-                    # Receiver no longer sees the sender; the model allows the
-                    # message to be lost in this case.
-                    self._dropped_count += 1
-                    continue
-                due.append(envelope)
-            else:
-                remaining.append(envelope)
-        self._in_flight = remaining
-        due.sort(key=lambda env: (env.delivery_time, env.message_id))
+        in_flight = self._in_flight
+        while in_flight and in_flight[0][0] <= t + epsilon:
+            envelope = heapq.heappop(in_flight)[2]
+            if self.drop_on_edge_loss and not self.graph.has_directed_edge(
+                envelope.receiver, envelope.sender
+            ):
+                # Receiver no longer sees the sender; the model allows the
+                # message to be lost in this case.
+                self._dropped_count += 1
+                continue
+            due.append(envelope)
         self._delivered_count += len(due)
         return due
 

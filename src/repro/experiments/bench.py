@@ -38,6 +38,10 @@ DEFAULT_TOPOLOGIES: Tuple[str, ...] = ("line", "grid", "random")
 DEFAULT_DURATION = 20.0
 DEFAULT_DT = 0.1
 DEFAULT_OUTPUT = "BENCH_fastsim.json"
+#: Estimate modes the bench grid knows how to build.  ``broadcast`` switches
+#: the scenario into message-layer estimates (real in-flight messages over
+#: the bounded-delay transport) -- the family recorded in BENCH_msgsim.json.
+BENCH_ESTIMATE_MODES: Tuple[str, ...] = ("oracle", "broadcast")
 
 #: Observers used by ``--trace none`` bench runs.  Deliberately excludes
 #: ``gradient_bound_check`` (and the other all-pairs observers): those are
@@ -96,18 +100,36 @@ def bench_spec(
     duration: float = DEFAULT_DURATION,
     dt: float = DEFAULT_DT,
     backend: str = "reference",
+    estimate_mode: str = "oracle",
+    broadcast_interval: float = 1.0,
 ) -> ScenarioSpec:
     """The backend-benchmark scenario for one (topology, size) grid point."""
     if n < 2:
         raise BenchError(f"bench scenarios need n >= 2, got {n}")
     if duration <= 0.0:
         raise BenchError(f"duration must be positive, got {duration}")
+    if estimate_mode not in BENCH_ESTIMATE_MODES:
+        raise BenchError(
+            f"estimate_mode must be one of {BENCH_ESTIMATE_MODES}, "
+            f"got {estimate_mode!r}"
+        )
     topology, hops = _topology_component(kind, n)
     params = Parameters(**BENCHMARK_PARAMS)
     bound = 2.0 * (_per_hop_bound(params) * hops + params.iota) + 1.0
     kappa = params.kappa_for(BENCHMARK_EDGE["epsilon"], BENCHMARK_EDGE["tau"])
+    sim = {
+        "dt": dt,
+        "duration": duration,
+        "sample_interval": 1.0,
+        "estimate_strategy": "toward_observer",
+    }
+    family = "backend_bench"
+    if estimate_mode == "broadcast":
+        sim["estimate_mode"] = "broadcast"
+        sim["broadcast_interval"] = broadcast_interval
+        family = "msgsim_bench"
     return ScenarioSpec(
-        label=f"backend_bench/{kind}/n={n}",
+        label=f"{family}/{kind}/n={n}",
         topology=topology,
         drift=ComponentSpec("two_group", {"swap_period": 40.0}),
         algorithm=ComponentSpec(
@@ -119,12 +141,7 @@ def bench_spec(
         ),
         params=dict(BENCHMARK_PARAMS),
         edge=dict(BENCHMARK_EDGE),
-        sim={
-            "dt": dt,
-            "duration": duration,
-            "sample_interval": 1.0,
-            "estimate_strategy": "toward_observer",
-        },
+        sim=sim,
         initial_ramp_per_edge=0.95 * kappa,
         backend=backend,
     )
@@ -139,6 +156,8 @@ def validate_bench_config(
     repeats: int,
     backends: Sequence[str],
     trace: str = "full",
+    estimate_mode: str = "oracle",
+    float32: bool = False,
 ) -> None:
     """Fail fast on a bad benchmark grid (cheap: no simulation is run)."""
     if repeats < 1:
@@ -147,25 +166,31 @@ def validate_bench_config(
         raise BenchError("need at least one backend to time")
     if trace not in TRACE_MODES:
         raise BenchError(f"trace must be one of {TRACE_MODES}, got {trace!r}")
+    if float32 and "jit" not in backends:
+        raise BenchError(
+            "--float32 times the jit engine's narrowed kernels; add 'jit' "
+            "to --backends to use it"
+        )
     for name in backends:
         get_backend(name)
     for kind in topologies:
         for n in sizes:
-            bench_spec(kind, n, duration=duration, dt=dt)
+            bench_spec(kind, n, duration=duration, dt=dt, estimate_mode=estimate_mode)
 
 
 #: Backends already warmed up in this process (see ``_warm_backend``).
 _WARMED: set = set()
 
 
-def _warm_backend(name: str) -> None:
+def _warm_backend(name: str, estimate_mode: str = "oracle") -> None:
     """One small untimed run so first-use initialisation (numpy ufunc and
     dispatch caches, and for ``jit`` the one-off kernel compilation --
     numba JIT or the on-demand C build) never lands in a measurement."""
-    if name in _WARMED:
+    key = (name, estimate_mode)
+    if key in _WARMED:
         return
-    _WARMED.add(name)
-    spec = bench_spec("line", 8, duration=2.0)
+    _WARMED.add(key)
+    spec = bench_spec("line", 8, duration=2.0, estimate_mode=estimate_mode)
     scenario = registry.build_scenario(spec)
     engine = get_backend(name).build(
         scenario.graph, scenario.algorithm_factory, scenario.config
@@ -220,6 +245,9 @@ def run_backend_bench(
     check_equivalence: bool = True,
     trace: str = "full",
     measure_memory: bool = False,
+    estimate_mode: str = "oracle",
+    broadcast_interval: float = 1.0,
+    float32: bool = False,
 ) -> Dict[str, Any]:
     """Time every backend on every grid point; return the results payload.
 
@@ -235,6 +263,13 @@ def run_backend_bench(
     untimed run per (backend, grid point) under :mod:`tracemalloc` and
     records its peak as ``{backend}_peak_tracemalloc_bytes`` (plus the
     process-wide ``peak_rss_kb`` high-water mark).
+
+    ``estimate_mode="broadcast"`` switches the whole grid to message-layer
+    estimates (the BENCH_msgsim.json family): real broadcasts over the
+    bounded-delay transport instead of oracle estimate reads.
+    ``float32=True`` adds an extra timed column ``jit_float32_seconds``
+    running the jit engine's opt-in narrowed kernels; it is approx-only by
+    contract, so it never participates in the equivalence verdict.
     """
     if repeats < 1:
         raise BenchError(f"repeats must be >= 1, got {repeats}")
@@ -242,12 +277,24 @@ def run_backend_bench(
         raise BenchError("need at least one backend to time")
     if trace not in TRACE_MODES:
         raise BenchError(f"trace must be one of {TRACE_MODES}, got {trace!r}")
+    if float32 and "jit" not in backends:
+        raise BenchError(
+            "--float32 times the jit engine's narrowed kernels; add 'jit' "
+            "to --backends to use it"
+        )
     for name in backends:
-        _warm_backend(name)
+        _warm_backend(name, estimate_mode)
     results: List[Dict[str, Any]] = []
     for kind in topologies:
         for n in sizes:
-            base = bench_spec(kind, n, duration=duration, dt=dt).with_trace(trace)
+            base = bench_spec(
+                kind,
+                n,
+                duration=duration,
+                dt=dt,
+                estimate_mode=estimate_mode,
+                broadcast_interval=broadcast_interval,
+            ).with_trace(trace)
             if trace == "none":
                 base = base.with_observers(*BENCH_OBSERVERS)
             scenario = registry.build_scenario(base)
@@ -259,15 +306,18 @@ def run_backend_bench(
                 "dt": dt,
                 "steps": steps,
                 "trace_mode": trace,
+                "estimate_mode": estimate_mode,
                 "spec_hash": base.content_hash(),
             }
             payloads: Dict[str, Any] = {}
 
-            def run_once(backend):
-                """One full build + run; returns (trace, pipeline or None)."""
-                engine = backend.build(
+            def build_engine(backend):
+                return backend.build(
                     scenario.graph, scenario.algorithm_factory, scenario.config
                 )
+
+            def run_engine(engine):
+                """One full run; returns (trace, pipeline or None)."""
                 pipeline = None
                 if trace == "none":
                     pipeline = build_run_pipeline(
@@ -282,6 +332,10 @@ def run_backend_bench(
                 produced = engine.run(scenario.config.duration)
                 return produced, pipeline
 
+            def run_once(backend):
+                """One full build + run; returns (trace, pipeline or None)."""
+                return run_engine(build_engine(backend))
+
             for name in backends:
                 backend = get_backend(name)
                 # One untimed warm run per (backend, grid point): the
@@ -289,7 +343,7 @@ def run_backend_bench(
                 # but size-dependent first-use costs (allocator growth,
                 # size-specialised dispatch) previously leaked into the
                 # first timed measurement of every new size.
-                warm_key = (name, kind, n)
+                warm_key = (name, kind, n, estimate_mode)
                 if warm_key not in _WARMED:
                     _WARMED.add(warm_key)
                     run_once(backend)
@@ -311,6 +365,34 @@ def run_backend_bench(
                     entry[f"{name}_peak_tracemalloc_bytes"] = _measure_peak_memory(
                         lambda backend=backend: run_once(backend)
                     )
+            if float32:
+                # The narrowed jit kernels are approx-only by contract, so
+                # they are timed but deliberately NEVER fed into the
+                # equivalence verdict below.
+                from ..jitsim.engine import JitEngine
+
+                def run_float32_once():
+                    engine = JitEngine(
+                        scenario.graph,
+                        scenario.algorithm_factory,
+                        scenario.config,
+                        float32=True,
+                    )
+                    return run_engine(engine)
+
+                warm_key = ("jit+float32", kind, n, estimate_mode)
+                if warm_key not in _WARMED:
+                    _WARMED.add(warm_key)
+                    run_float32_once()
+                best = math.inf
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    run_float32_once()
+                    best = min(best, time.perf_counter() - started)
+                entry["jit_float32_seconds"] = best
+                entry["jit_float32_speedup_over_jit"] = (
+                    entry["jit_seconds"] / best
+                )
             if measure_memory:
                 entry["peak_rss_kb"] = _peak_rss_kb()
             node_steps = steps * scenario.graph.node_count
@@ -354,6 +436,8 @@ def run_backend_bench(
             "dt": dt,
             "repeats": repeats,
             "trace": trace,
+            "estimate_mode": estimate_mode,
+            "float32": bool(float32),
         },
         "results": results,
     }

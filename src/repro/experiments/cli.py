@@ -428,6 +428,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         backends=backends,
         trace=args.trace,
+        estimate_mode=args.estimate_mode,
+        float32=args.float32,
     )
     baseline = _load_compare_baseline(args)
     payload = bench_mod.run_backend_bench(
@@ -440,6 +442,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         check_equivalence=not args.no_check,
         trace=args.trace,
         measure_memory=args.memory,
+        estimate_mode=args.estimate_mode,
+        broadcast_interval=args.broadcast_interval,
+        float32=args.float32,
     )
     if args.output:
         path = bench_mod.write_bench_json(payload, args.output)
@@ -461,12 +466,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
         speedup_keys.append(("jit/vec", "jit_speedup_over_vec"))
     if "reference" in backends and "jit" in backends:
         speedup_keys.append(("jit/ref", "jit_speedup_over_reference"))
+    if args.float32:
+        speedup_keys.append(("f32 [s] (approx)", "jit_float32_seconds"))
+        speedup_keys.append(("f32/jit", "jit_float32_speedup_over_jit"))
     columns += [label for label, _ in speedup_keys]
     if args.memory:
         columns += [f"{name} peak [MB]" for name in backends]
     if not args.no_check:
         columns.append("identical")
-    table = report.Table("backend speed: " + " vs ".join(backends), columns)
+    title = "backend speed: " + " vs ".join(backends)
+    if args.estimate_mode != "oracle":
+        title += f" ({args.estimate_mode} estimates)"
+    table = report.Table(title, columns)
     for entry in payload["results"]:
         row = [entry["topology"], entry["n"], entry["steps"]]
         row += [entry[f"{name}_seconds"] for name in backends]
@@ -716,6 +727,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="add one untimed run per point under tracemalloc and report "
         "its peak memory (plus the process RSS high-water mark)",
+    )
+    bench_parser.add_argument(
+        "--estimate-mode",
+        choices=list(bench_mod.BENCH_ESTIMATE_MODES),
+        default="oracle",
+        help="estimate mode for the whole grid: 'oracle' (default) or "
+        "'broadcast' for message-layer estimates over the bounded-delay "
+        "transport (the BENCH_msgsim.json family)",
+    )
+    bench_parser.add_argument(
+        "--broadcast-interval",
+        type=float,
+        default=1.0,
+        help="broadcast period for --estimate-mode broadcast "
+        "(default: %(default)s)",
+    )
+    bench_parser.add_argument(
+        "--float32",
+        action="store_true",
+        help="add a timed column for the jit engine's opt-in float32 "
+        "kernels (needs 'jit' in --backends); approx-only, never part of "
+        "the equality verdict",
     )
     bench_parser.add_argument(
         "--compare",

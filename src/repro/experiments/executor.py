@@ -335,12 +335,22 @@ class SweepStats:
     #: (e.g. ``{"jit": 2, "vec": 1}``), so jit fallbacks are reported
     #: distinctly from vec ones.
     fallback_backends: Dict[str, int] = field(default_factory=dict)
+    #: Of the fallbacks, how many were broadcast-estimate-mode specs, keyed
+    #: by origin backend.  Broadcast scenarios run on every backend now, so
+    #: a broadcast fallback signals a scenario feature the accelerated
+    #: engines still refuse (e.g. diameter tracking) -- worth reporting
+    #: separately from plain oracle fallbacks.
+    broadcast_fallbacks: Dict[str, int] = field(default_factory=dict)
     wall_time: float = 0.0
 
-    def count_fallback(self, backend: str) -> None:
+    def count_fallback(self, backend: str, estimate_mode: str = "oracle") -> None:
         """Record one reference fallback requested as ``backend``."""
         self.fallbacks += 1
         self.fallback_backends[backend] = self.fallback_backends.get(backend, 0) + 1
+        if estimate_mode == "broadcast":
+            self.broadcast_fallbacks[backend] = (
+                self.broadcast_fallbacks.get(backend, 0) + 1
+            )
 
     def describe(self) -> str:
         extras = []
@@ -355,6 +365,12 @@ class SweepStats:
                 )
                 detail = f" ({parts})"
             extras.append(f"{self.fallbacks} fell back to reference{detail}")
+        if self.broadcast_fallbacks:
+            parts = ", ".join(
+                f"{count} from {backend}"
+                for backend, count in sorted(self.broadcast_fallbacks.items())
+            )
+            extras.append(f"broadcast-mode fallbacks: {parts}")
         suffix = f" ({', '.join(extras)})" if extras else ""
         return (
             f"{self.total} spec(s): {self.cached} from cache, "
@@ -809,7 +825,10 @@ def run_sweep(
                 )
                 run_specs[index] = spec
                 requested[index] = specs[index].backend
-                batch.count_fallback(specs[index].backend)
+                batch.count_fallback(
+                    specs[index].backend,
+                    specs[index].sim.get("estimate_mode", "oracle"),
+                )
                 fell_back = True
             if use_cache and not from_cache:
                 cache.store(spec, payload)
@@ -919,6 +938,10 @@ class ExperimentRunner:
         for backend, count in batch.fallback_backends.items():
             self.stats.fallback_backends[backend] = (
                 self.stats.fallback_backends.get(backend, 0) + count
+            )
+        for backend, count in batch.broadcast_fallbacks.items():
+            self.stats.broadcast_fallbacks[backend] = (
+                self.stats.broadcast_fallbacks.get(backend, 0) + count
             )
         self.stats.wall_time += batch.wall_time
         return runs, batch

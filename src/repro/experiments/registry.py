@@ -942,6 +942,145 @@ def _quickstart_line_scenario(
     )
 
 
+@SCENARIOS.register("line_broadcast")
+def _line_broadcast_scenario(
+    *,
+    n: int = 8,
+    algorithm: str = "AOPT",
+    broadcast_interval: float = 1.0,
+    swap_period: float = 150.0,
+    ramp_fraction: float = 0.95,
+    duration: Optional[float] = None,
+    dt: float = 0.1,
+    sim: Optional[Dict[str, Any]] = None,
+) -> ScenarioSpec:
+    """The line sweep with estimates carried by periodic clock broadcasts.
+
+    Same adversary and pre-built ramp as ``line_scaling``, but the oracle
+    estimate layer is replaced by the paper's message model: nodes broadcast
+    their logical clock every ``broadcast_interval`` hardware time and
+    neighbors extrapolate the last received value at their own hardware
+    rate.  The benchmark family for the message-transport fast path.
+    """
+    base = _line_scaling_scenario(
+        n=n,
+        algorithm=algorithm,
+        swap_period=swap_period,
+        ramp_fraction=ramp_fraction,
+        duration=duration,
+        dt=dt,
+        sim=_merge_sim(
+            {
+                "estimate_mode": "broadcast",
+                "broadcast_interval": broadcast_interval,
+            },
+            sim,
+        ),
+    )
+    return replace(base, label=f"line_broadcast/n={n}/{algorithm}")
+
+
+@SCENARIOS.register("random_broadcast_delay_storm")
+def _random_broadcast_delay_storm_scenario(
+    *,
+    n: int = 12,
+    algorithm: str = "AOPT",
+    broadcast_interval: float = 1.0,
+    storm_period: float = 40.0,
+    storm_width: float = 10.0,
+    storm_factor: float = 4.0,
+    duration: float = 240.0,
+    dt: float = 0.1,
+    sim: Optional[Dict[str, Any]] = None,
+) -> ScenarioSpec:
+    """Broadcast estimates on a churning random graph under delay storms.
+
+    The ``random_connected_sliding_window`` backbone (rotating shortcut
+    edges, random-walk drift) with broadcast-mode estimates and a
+    ``delay_spike_storm`` wrapping a uniform random delay: periodic windows
+    where message delays spike towards the bound, stressing the staleness
+    term of the broadcast error bound while edges churn.
+    """
+    base = _random_connected_sliding_window_scenario(
+        n=n,
+        algorithm=algorithm,
+        duration=duration,
+        dt=dt,
+        sim=_merge_sim(
+            {
+                "estimate_mode": "broadcast",
+                "broadcast_interval": broadcast_interval,
+            },
+            sim,
+        ),
+    )
+    return replace(
+        base,
+        label=f"random_broadcast_delay_storm/n={n}/{algorithm}",
+        delay=ComponentSpec(
+            "delay_spike_storm",
+            {
+                "inner": "uniform",
+                "inner_args": {"low_fraction": 0.1, "high_fraction": 0.9},
+                "period": storm_period,
+                "width": storm_width,
+                "factor": storm_factor,
+            },
+        ),
+    )
+
+
+@SCENARIOS.register("grid_broadcast_partition")
+def _grid_broadcast_partition_scenario(
+    *,
+    rows: int = 3,
+    cols: int = 3,
+    algorithm: str = "AOPT",
+    broadcast_interval: float = 1.0,
+    split_time: float = 40.0,
+    heal_time: float = 80.0,
+    duration: float = 160.0,
+    dt: float = 0.1,
+    sim: Optional[Dict[str, Any]] = None,
+) -> ScenarioSpec:
+    """Broadcast estimates across a partition with lossy in-flight messages.
+
+    A grid splits into two components and heals; messages in flight across
+    severed edges are dropped (``drop_messages_on_edge_loss``) and the
+    broadcast layer forgets the stored state of lost edges, so re-merged
+    neighbors must re-learn each other's clocks from fresh broadcasts.
+    Exercises the edge-loss ``forget`` path and the heap-transport fallback
+    of the vectorized backends.
+    """
+    return ScenarioSpec(
+        label=f"grid_broadcast_partition/{rows}x{cols}/{algorithm}",
+        topology=ComponentSpec("grid", {"rows": rows, "cols": cols}),
+        dynamics=ComponentSpec(
+            "partition_then_heal",
+            {"split_time": split_time, "heal_time": heal_time},
+        ),
+        drift=ComponentSpec("two_group", {"swap_period": 60.0}),
+        delay=ComponentSpec(
+            "uniform", {"low_fraction": 0.1, "high_fraction": 0.9}
+        ),
+        algorithm=_algorithm_component(algorithm),
+        params=dict(BENCHMARK_PARAMS),
+        edge=dict(BENCHMARK_EDGE),
+        sim=_merge_sim(
+            {
+                "dt": dt,
+                "duration": duration,
+                "sample_interval": 1.0,
+                "estimate_strategy": "toward_observer",
+                "estimate_mode": "broadcast",
+                "broadcast_interval": broadcast_interval,
+                "drop_messages_on_edge_loss": True,
+            },
+            sim,
+        ),
+    )
+
+
 # ----------------------------------------------------------------------
 # Chaos fault family (repro.chaos)
 #

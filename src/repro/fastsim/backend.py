@@ -14,8 +14,8 @@ Four backends ship with the library:
 * ``"reference"`` -- the object-oriented :class:`repro.sim.engine.Engine`,
   faithful and fully general;
 * ``"fast"`` -- the struct-of-arrays :class:`repro.fastsim.engine.FastEngine`,
-  specialized for the AOPT family with oracle estimates and bit-identical to
-  the reference on the scenarios it supports;
+  specialized for the AOPT family (oracle *and* broadcast estimate modes)
+  and bit-identical to the reference on the scenarios it supports;
 * ``"vec"`` -- the NumPy-vectorized :class:`repro.vecsim.engine.VecEngine`,
   same supported scenarios and bit-identity contract as ``fast`` but with
   whole-array kernels per step (and run batching, see
@@ -100,7 +100,7 @@ class ReferenceBackend:
 
 
 class FastBackend:
-    """The struct-of-arrays engine (AOPT + oracle estimates, bit-identical)."""
+    """The struct-of-arrays engine (AOPT, oracle/broadcast estimates, bit-identical)."""
 
     name = "fast"
 
@@ -122,7 +122,7 @@ def _numpy_available() -> bool:
 
 
 class VecBackend:
-    """The NumPy-vectorized engine (AOPT + oracle estimates, bit-identical).
+    """The NumPy-vectorized engine (AOPT, oracle/broadcast estimates, bit-identical).
 
     Registered unconditionally so ``backend='vec'`` is always a *known* name;
     building without numpy raises :class:`BackendUnavailableError` that lists
@@ -152,7 +152,7 @@ class VecBackend:
 
 
 class JitBackend:
-    """The compiled fused-time-loop engine (AOPT + oracle, bit-identical).
+    """The compiled fused-time-loop engine (AOPT, oracle/broadcast, bit-identical).
 
     Registered unconditionally like ``vec``; building needs numpy plus a
     kernel provider (numba, or a working C compiler for the bundled kernel

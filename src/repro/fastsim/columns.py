@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 from ..core.aopt_step import ThresholdTable, edge_threshold_table
 from ..core.neighbor_sets import NeighborLevels
 from ..core.parameters import Parameters
+from ..estimate.message_layer import broadcast_error_bound
 from ..network.dynamic_graph import DynamicGraph
 from ..network.edge import DEFAULT_EDGE_PARAMS, NodeId
 
@@ -82,6 +83,7 @@ class CSRAdjacency:
     __slots__ = (
         "params",
         "max_level",
+        "broadcast_bound",
         "indptr",
         "neighbor_index",
         "epsilon",
@@ -93,9 +95,19 @@ class CSRAdjacency:
         "_table_cache",
     )
 
-    def __init__(self, params: Parameters, max_level: int):
+    def __init__(
+        self,
+        params: Parameters,
+        max_level: int,
+        broadcast_bound: Optional[tuple] = None,
+    ):
         self.params = params
         self.max_level = int(max_level)
+        #: ``(broadcast_interval, rho, mu)`` in broadcast estimate mode; the
+        #: epsilon column then carries the broadcast layer's guaranteed error
+        #: bound per edge (what ``estimate_error`` reports to the algorithm)
+        #: instead of the oracle edge epsilon.  ``None`` in oracle mode.
+        self.broadcast_bound = broadcast_bound
         self.indptr: List[int] = [0]
         self.neighbor_index: List[int] = []
         self.epsilon: List[float] = []
@@ -142,6 +154,7 @@ class CSRAdjacency:
             for key, value in graph.known_edge_params().items()
         }
         default = DEFAULT_EDGE_PARAMS
+        broadcast_bound = self.broadcast_bound
         column_memo: Dict[int, tuple] = {}
         for node in graph.nodes:
             position = index[node]
@@ -158,11 +171,12 @@ class CSRAdjacency:
                 # stable here.
                 memo = column_memo.get(id(edge))
                 if memo is None:
-                    memo = (
-                        edge.epsilon,
-                        edge.delay,
-                        self.table_for(edge.epsilon, edge.tau),
-                    )
+                    if broadcast_bound is None:
+                        eps = edge.epsilon
+                    else:
+                        interval, rho, mu = broadcast_bound
+                        eps = broadcast_error_bound(edge.delay, interval, rho, mu)
+                    memo = (eps, edge.delay, self.table_for(eps, edge.tau))
                     column_memo[id(edge)] = memo
                 raw = level_of(nbr)
                 if raw is None:

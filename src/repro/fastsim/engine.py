@@ -15,14 +15,18 @@ Supported configurations (everything the named scenarios of
 
 * the AOPT algorithm family (:class:`~repro.core.algorithm.AOPT` and its
   ``immediate_insertion`` variant) with one shared configuration per run;
-* the oracle estimate layer with any of its error strategies;
+* the oracle estimate layer with any of its error strategies, and the
+  broadcast estimate layer (``estimate_mode="broadcast"``): per-edge
+  stored-broadcast state lives in flat arrays over the CSR edge slots
+  (value, observer hardware at receipt, receipt time) and the periodic
+  broadcast emission is fused into the control loop;
 * any drift model, any delay model, scheduled edge events (the full
   leader/follower insertion handshake of Listing 1 is replicated),
   adversarial initial clock profiles and ``drop_messages_on_edge_loss``.
 
-Unsupported configurations (broadcast-derived estimates, baseline
-algorithms, the diameter tracker) raise :class:`UnsupportedScenarioError` at
-construction time -- use the reference backend for those.
+Unsupported configurations (baseline algorithms, the diameter tracker)
+raise :class:`UnsupportedScenarioError` at construction time -- use the
+reference backend for those.
 
 Equivalence notes (why bit-identical is achievable):
 
@@ -128,11 +132,6 @@ class FastEngine:
         algorithm_factory: AlgorithmFactory,
         config,  # repro.sim.runner.SimulationConfig
     ):
-        if config.estimate_mode != "oracle":
-            raise UnsupportedScenarioError(
-                "the fast backend supports only estimate_mode='oracle' "
-                f"(got {config.estimate_mode!r}); use backend='reference'"
-            )
         if config.track_diameter:
             raise UnsupportedScenarioError(
                 "the fast backend does not implement the diameter tracker; "
@@ -198,9 +197,10 @@ class FastEngine:
         rho = self.aopt_params.rho
         self._max_factor = (1.0 - rho) / (1.0 + rho)
 
-        # -- estimate layer (oracle, inlined) ------------------------------
+        # -- estimate layer (oracle or broadcast, inlined) ------------------
         self._strategy = strategy
         self._estimate_rng = _random.Random(config.estimate_seed)
+        self._bc_mode = config.estimate_mode == "broadcast"
 
         # -- per-node columns and bookkeeping ------------------------------
         self._cols = NodeColumns(ids, config.initial_logical)
@@ -221,8 +221,30 @@ class FastEngine:
             self._schedules.append({})
 
         # -- adjacency ------------------------------------------------------
-        self._csr = CSRAdjacency(self.aopt_params, self.max_level)
+        # In broadcast mode the epsilon column carries the broadcast layer's
+        # guaranteed error bound, computed from the *simulation* parameters
+        # exactly as the reference wires BroadcastEstimateLayer.
+        broadcast_bound = (
+            (float(config.broadcast_interval), config.params.rho, config.params.mu)
+            if self._bc_mode
+            else None
+        )
+        self._csr = CSRAdjacency(
+            self.aopt_params, self.max_level, broadcast_bound=broadcast_bound
+        )
         self._csr_dirty = True
+        # Per-CSR-slot stored-broadcast state (broadcast mode only): the
+        # latest received broadcast value, the observer's hardware clock at
+        # receipt and the receipt time, plus a validity flag.  Deliveries for
+        # edges without a current CSR slot park in ``_bc_overflow`` keyed
+        # ``(receiver_position, sender_id)``; the rebuild migrates state
+        # between layouts and keeps entries of absent edges alive (the
+        # reference layer stores per-pair state regardless of edge presence).
+        self._bc_value: Any = None
+        self._bc_hw: Any = None
+        self._bc_time: Any = None
+        self._bc_valid: Any = None
+        self._bc_overflow: Dict[Tuple[int, NodeId], Tuple[float, float, float]] = {}
         self._rebuild_csr()
 
         # -- transport ------------------------------------------------------
@@ -366,6 +388,14 @@ class FastEngine:
         self._levels[position].remove(neighbor)
         self._schedules[position].pop(neighbor, None)
         self._since[position].pop(neighbor, None)
+        if self._bc_mode:
+            # Mirrors the reference layer's forget(observer=node, subject=
+            # neighbor): one direction only; the paired reverse event clears
+            # the other direction.
+            self._bc_overflow.pop((position, neighbor), None)
+            slot = self._csr.row_pos[position].get(neighbor)
+            if slot is not None:
+                self._bc_valid[slot] = False
 
     def _deliver_messages(self, t: float) -> None:
         inflight = self._inflight
@@ -373,6 +403,9 @@ class FastEngine:
         drop = self._drop_on_edge_loss
         index = self._cols.index
         max_estimate = self._cols.max_estimate
+        hardware = self._cols.hardware
+        bc_mode = self._bc_mode
+        row_pos = self._csr.row_pos
         graph = self.graph
         while inflight and inflight[0][0] <= limit:
             (_, _, kind, sender, receiver, remote_max, anchor, skew_estimate) = (
@@ -394,6 +427,21 @@ class FastEngine:
                         self._follower_check(fire_time, u, v, a, g)
                     ),
                 )
+            elif bc_mode:
+                # Store the broadcast like BroadcastEstimateLayer.on_broadcast:
+                # unconditionally, keyed (receiver, sender), with the
+                # receiver's current hardware clock.  ``anchor`` carries the
+                # sender's logical value at send time for broadcast messages.
+                slot = row_pos[position].get(sender)
+                if slot is None:
+                    self._bc_overflow[(position, sender)] = (
+                        anchor, hardware[position], t,
+                    )
+                else:
+                    self._bc_value[slot] = anchor
+                    self._bc_hw[slot] = hardware[position]
+                    self._bc_time[slot] = t
+                    self._bc_valid[slot] = True
 
     # ------------------------------------------------------------------
     # Insertion handshake (Listing 1), mirrored from AOPT
@@ -493,7 +541,13 @@ class FastEngine:
     # ------------------------------------------------------------------
     # Broadcasting (Condition 4.3 flooding)
     # ------------------------------------------------------------------
-    def _broadcast(self, position: int, t: float, max_estimate_value: float) -> None:
+    def _broadcast(
+        self,
+        position: int,
+        t: float,
+        max_estimate_value: float,
+        logical_value: float,
+    ) -> None:
         node = self._cols.ids[position]
         graph = self.graph
         out = graph.neighbors_view(node)
@@ -502,6 +556,8 @@ class FastEngine:
         inflight = self._inflight
         # Iterate the same set the reference iterates (set order drives the
         # delay-model draw order, which must match for bit-identical runs).
+        # The anchor slot carries the sender's logical value: the broadcast
+        # estimate layer stores it at delivery (unused in oracle mode).
         for neighbor in self._levels[position].discovered():
             if neighbor not in out:
                 continue
@@ -517,7 +573,7 @@ class FastEngine:
                     node,
                     neighbor,
                     max_estimate_value,
-                    0.0,
+                    logical_value,
                     0.0,
                 ),
             )
@@ -527,12 +583,65 @@ class FastEngine:
     # Control (Listing 3, flattened)
     # ------------------------------------------------------------------
     def _rebuild_csr(self) -> None:
+        if self._bc_mode and self._bc_valid is not None:
+            self._harvest_bc_state()
         self._csr.rebuild(self.graph, self._cols.index, self._levels)
         self._csr_dirty = False
+        if self._bc_mode:
+            self._adopt_bc_state()
         size = self._csr.max_degree
         self._scratch_ahead = [0.0] * size
         self._scratch_level = [0] * size
         self._scratch_table: List[Any] = [None] * size
+
+    def _harvest_bc_state(self) -> None:
+        """Fold valid per-slot broadcast state into the overflow dict.
+
+        ``setdefault``: an existing overflow entry for the same (receiver,
+        sender) pair was necessarily written after the slot entry (deliveries
+        only go to overflow when the pair has no live slot), so it wins --
+        last-writer semantics, exactly like the reference layer's dict.
+        """
+        overflow = self._bc_overflow
+        valid = self._bc_valid
+        value = self._bc_value
+        hw = self._bc_hw
+        time_col = self._bc_time
+        for position, pos_map in enumerate(self._csr.row_pos):
+            for nbr, slot in pos_map.items():
+                if valid[slot]:
+                    overflow.setdefault(
+                        (position, nbr),
+                        (value[slot], hw[slot], time_col[slot]),
+                    )
+
+    def _adopt_bc_state(self) -> None:
+        """Allocate slot arrays for the new CSR and pull carried state in."""
+        n_slots = len(self._csr.neighbor_index)
+        self._bc_value, self._bc_hw, self._bc_time, self._bc_valid = (
+            self._alloc_bc_columns(n_slots)
+        )
+        overflow = self._bc_overflow
+        if not overflow:
+            return
+        row_pos = self._csr.row_pos
+        value = self._bc_value
+        hw = self._bc_hw
+        time_col = self._bc_time
+        valid = self._bc_valid
+        for key in list(overflow):
+            slot = row_pos[key[0]].get(key[1])
+            if slot is not None:
+                value[slot], hw[slot], time_col[slot] = overflow.pop(key)
+                valid[slot] = True
+
+    def _alloc_bc_columns(self, n_slots: int) -> Tuple[Any, Any, Any, Any]:
+        """Allocate (value, hardware-at-receipt, receipt-time, valid) columns.
+
+        Overridden by the vec engine to return numpy arrays; the scalar store
+        and migration code indexes both representations identically.
+        """
+        return [0.0] * n_slots, [0.0] * n_slots, [0.0] * n_slots, [False] * n_slots
 
     def _control_all(self, t: float) -> None:
         cols = self._cols
@@ -559,6 +668,10 @@ class FastEngine:
         fast_multiplier = self._fast_multiplier
         strategy = self._strategy
         uniform = strategy == 1
+        bc_mode = self._bc_mode
+        bc_value = self._bc_value
+        bc_hw = self._bc_hw
+        bc_valid = self._bc_valid
         evaluate = evaluate_mode_flat
         for i in range(len(logical)):
             hw = hardware[i]
@@ -578,9 +691,31 @@ class FastEngine:
             # Periodic broadcast, driven by the hardware clock.
             if hw + 1e-12 >= next_broadcast[i]:
                 next_broadcast[i] = hw + broadcast_interval
-                self._broadcast(i, t, m)
-            # Neighbor views: estimates inlined from OracleEstimateLayer.
-            if uniform:
+                self._broadcast(i, t, m, lg)
+            # Neighbor views: estimates inlined from the estimate layer
+            # (BroadcastEstimateLayer extrapolation or OracleEstimateLayer
+            # error strategies).
+            if bc_mode:
+                count = 0
+                end = indptr[i + 1]
+                for k in range(indptr[i], end):
+                    level = level_col[k]
+                    if level < 1:
+                        continue
+                    if not bc_valid[k]:
+                        # No stored broadcast yet: the reference layer
+                        # returns None and AOPT skips this neighbor's view.
+                        continue
+                    # BroadcastEstimateLayer.estimate, verbatim:
+                    # stored.value + max(0.0, hw_now - stored_hw).
+                    elapsed = hw - bc_hw[k]
+                    if not elapsed > 0.0:
+                        elapsed = 0.0
+                    aheads[count] = (bc_value[k] + elapsed) - lg
+                    view_levels[count] = level
+                    view_tables[count] = tables[k]
+                    count += 1
+            elif uniform:
                 count = self._fill_views_set_order(i, lg, aheads, view_levels, view_tables)
             else:
                 count = 0

@@ -135,6 +135,12 @@ class JitContext(VecContext):
             return "no kernel provider"
         if self._strategy == 1:
             return "uniform estimate strategy draws in set order"
+        if self.engines and self.engines[0]._bc_mode:
+            # Broadcast estimate mode keeps per-step message delivery with
+            # per-(receiver, sender) stored state; the fused segment kernels
+            # assume message-free stretches.  The inherited vec per-step
+            # path runs it bit-identically.
+            return "broadcast estimate mode stores per-pair message state"
         rng_ids = set()
         for engine in self.engines:
             if engine.stopped_early:

@@ -5,12 +5,15 @@
 event / insertion-handshake / transport machinery) but executes the per-step
 hot phases as NumPy array kernels over *all* nodes at once:
 
-* max-estimate maintenance, oracle estimates, trigger evaluation and clock
-  advancement are whole-array operations (:mod:`repro.vecsim.kernels`);
+* max-estimate maintenance, oracle *and* broadcast estimates, trigger
+  evaluation and clock advancement are whole-array operations
+  (:mod:`repro.vecsim.kernels`);
 * broadcast messages travel through flat ``(delivery_time, receiver, value)``
-  arrays instead of a heap -- sound because the max-estimate flooding update
-  is an order-insensitive maximum -- while the rare ``INSERT_EDGE`` messages
-  keep using the inherited heap;
+  arrays instead of a heap -- sound in oracle mode because the max-estimate
+  flooding update is an order-insensitive maximum, and in broadcast estimate
+  mode because a stable ``(delivery_time, message_id)`` sort plus
+  keep-last-per-slot reproduces the reference transport's delivery order --
+  while the rare ``INSERT_EDGE`` messages keep using the inherited heap;
 * message-delay draws stay on the *Python* rng (bit-identity requires the
   exact Mersenne-Twister stream the reference consumes), but the draws are
   batched per step and turned into delays with the same float expressions.
@@ -359,6 +362,10 @@ class _CombinedCSR:
         "edge_f2",
         "edge_f3",
         "edge_b",
+        "bc_value",
+        "bc_hw",
+        "bc_time",
+        "bc_valid",
     )
 
     def __init__(self, engines: Sequence["VecEngine"], node_count: int):
@@ -459,6 +466,27 @@ class _CombinedCSR:
         self.edge_f2 = np.empty(self.edge_count, dtype=np.float64)
         self.edge_f3 = np.empty(self.edge_count, dtype=np.float64)
         self.edge_b = np.empty(self.edge_count, dtype=bool)
+        # Broadcast estimate mode: adopt the engines' per-slot stored-state
+        # columns into combined arrays (same pattern as the node columns in
+        # VecContext) so the broadcast-ahead kernel runs over the whole
+        # batch; each engine's _bc_* attributes become views.
+        if engines and engines[0]._bc_mode:
+            self.bc_value = np.concatenate([e._bc_value for e in engines])
+            self.bc_hw = np.concatenate([e._bc_hw for e in engines])
+            self.bc_time = np.concatenate([e._bc_time for e in engines])
+            self.bc_valid = np.concatenate([e._bc_valid for e in engines])
+            for engine in engines:
+                start = engine._edge_offset
+                end = start + len(engine._csr.neighbor_index)
+                engine._bc_value = self.bc_value[start:end]
+                engine._bc_hw = self.bc_hw[start:end]
+                engine._bc_time = self.bc_time[start:end]
+                engine._bc_valid = self.bc_valid[start:end]
+        else:
+            self.bc_value = None
+            self.bc_hw = None
+            self.bc_time = None
+            self.bc_valid = None
         self._refresh_homogeneous()
 
     def _refresh_homogeneous(self) -> None:
@@ -562,7 +590,7 @@ class LazyTraceSample:
 # Engine
 # ----------------------------------------------------------------------
 class VecEngine(FastEngine):
-    """NumPy-vectorized fixed-step simulator (AOPT + oracle estimates).
+    """NumPy-vectorized fixed-step simulator (AOPT, oracle/broadcast estimates).
 
     Engine-compatible with :class:`FastEngine` (same constructor, same
     supported scenarios, same ``UnsupportedScenarioError`` contract) and
@@ -575,6 +603,7 @@ class VecEngine(FastEngine):
     _csr_generation = 0
     _csr_levels_dirty = False
     _bc_flat = None
+    _bc_store = None
     _active_schedules: Optional[set] = None
 
     def __init__(
@@ -612,13 +641,26 @@ class VecEngine(FastEngine):
     def _on_edge_discovered(self, t: float, node: NodeId, neighbor: NodeId) -> None:
         super()._on_edge_discovered(t, node, neighbor)
         self._bc_flat = None
+        self._bc_store = None
 
     def _on_edge_lost(self, t: float, node: NodeId, neighbor: NodeId) -> None:
         super()._on_edge_lost(t, node, neighbor)
         self._bc_flat = None
+        self._bc_store = None
         position = self._cols.index[node]
         if not self._schedules[position]:
             self._active_schedules.discard(position)
+
+    def _alloc_bc_columns(self, n_slots: int):
+        # NumPy columns so the broadcast-estimate kernels operate directly on
+        # the stored state; the scalar store/migration paths of the fast
+        # engine index them identically to its list columns.
+        return (
+            np.zeros(n_slots, dtype=np.float64),
+            np.zeros(n_slots, dtype=np.float64),
+            np.zeros(n_slots, dtype=np.float64),
+            np.zeros(n_slots, dtype=bool),
+        )
 
     def _leader_check(self, t: float, node: NodeId, neighbor: NodeId) -> None:
         # The handshake draws one scalar delay from the Python rng; hand the
@@ -680,12 +722,22 @@ class VecEngine(FastEngine):
         builds its set from the same dict in the same insertion order every
         call, so the order is stable between membership changes; the
         structure is invalidated on every edge event.
+
+        In broadcast estimate mode a parallel receiver-slot column
+        (``_bc_store``) resolves each fan-out entry to the *receiver's* CSR
+        slot for the (receiver, sender) pair -- the store target of the
+        delivery -- or ``-1`` when the receiver has no row entry for the
+        sender (the delivery then parks in the receiver's overflow dict).
+        The column is tagged with the CSR generation at push time; deliveries
+        that outlive a rebuild re-resolve slots scalar-wise.
         """
         index = self._cols.index
         offset = self._offset
         plan = self._delay_plan
         csr = self._csr
         delay_col = csr.delay
+        bc_mode = self._bc_mode
+        recv_slots: List[int] = []
         owner: List[int] = []
         receivers: List[int] = []
         bounds: List[float] = []
@@ -706,14 +758,25 @@ class VecEngine(FastEngine):
             slots_append = slots.append
             counts_append = counts.append
             row_pos = csr.row_pos
+            neighbor_index = csr.neighbor_index
             levels = self._levels
-            for position in range(len(self._cols.ids)):
+            ids = self._cols.ids
+            for position in range(len(ids)):
                 row_get = row_pos[position].get
                 start = len(slots)
-                for neighbor in levels[position].discovered():
-                    slot = row_get(neighbor)
-                    if slot is not None:
-                        slots_append(slot)
+                if bc_mode:
+                    node = ids[position]
+                    for neighbor in levels[position].discovered():
+                        slot = row_get(neighbor)
+                        if slot is not None:
+                            slots_append(slot)
+                            store = row_pos[neighbor_index[slot]].get(node)
+                            recv_slots.append(-1 if store is None else store)
+                else:
+                    for neighbor in levels[position].discovered():
+                        slot = row_get(neighbor)
+                        if slot is not None:
+                            slots_append(slot)
                 counts_append(len(slots) - start)
             slot_arr = np.asarray(slots, dtype=np.int64)
             owner_arr = np.repeat(
@@ -728,6 +791,9 @@ class VecEngine(FastEngine):
                 bound_arr[slot_arr],
                 None,
                 pairs,
+            )
+            self._bc_store = (
+                np.asarray(recv_slots, dtype=np.int64) if bc_mode else None
             )
             self._bc_flat = flat
             return flat
@@ -751,6 +817,9 @@ class VecEngine(FastEngine):
                 owner_append(position)
                 receivers_append(offset + index[neighbor])
                 bounds_append(bound)
+                if bc_mode:
+                    store = row_pos[index[neighbor]].get(node)
+                    recv_slots.append(-1 if store is None else store)
                 if need_pairs:
                     pairs_append((node, neighbor, bound))
                 if plan_static:
@@ -762,6 +831,7 @@ class VecEngine(FastEngine):
             np.asarray(static, dtype=np.float64) if plan.static else None,
             pairs,
         )
+        self._bc_store = np.asarray(recv_slots, dtype=np.int64) if bc_mode else None
         self._bc_flat = flat
         return flat
 
@@ -776,15 +846,17 @@ class VecEngine(FastEngine):
         interval = self.aopt_config.broadcast_interval
         max_estimate = cols.max_estimate
         if self._heap_transport:
+            logical = cols.logical
             for i in np.nonzero(due)[0].tolist():
                 next_broadcast[i] = hardware[i] + interval
-                self._broadcast(i, t, max_estimate[i])
+                self._broadcast(i, t, max_estimate[i], logical[i])
             return
         np.copyto(next_broadcast, hardware + interval, where=due)
         flat = self._bc_flat
         if flat is None:
             flat = self._build_bc_flat()
         owner, receivers, bounds, static, pairs = flat
+        store = self._bc_store
         if not owner.size:
             return
         if due_count == len(due):
@@ -798,14 +870,33 @@ class VecEngine(FastEngine):
                 owner = owner[edge_due]
                 receivers = receivers[edge_due]
                 bounds = bounds[edge_due]
+                if store is not None:
+                    store = store[edge_due]
                 if static is not None:
                     static = static[edge_due]
                 if type(self._delay_plan) is _GenericDelayPlan:
                     pairs = [pairs[i] for i in np.nonzero(edge_due)[0].tolist()]
         delays = self._delay_plan.delays(self, t, bounds, static, pairs)
-        self._ctx._push_broadcasts(
-            self, t + delays, receivers, max_estimate[owner]
-        )
+        if self._bc_mode:
+            # Message sequence numbers keep the reference's global
+            # (delivery_time, message_id) tie-break: the shared ``_msg_seq``
+            # counter advances exactly once per send, in the reference's send
+            # order (flat order is sender-position order, ``discovered()``
+            # order within a sender -- the scalar engines' order too).
+            seq_base = self._msg_seq
+            self._msg_seq = seq_base + count
+            seqs = np.arange(seq_base + 1, seq_base + count + 1, dtype=np.int64)
+            self._ctx._push_broadcasts(
+                self,
+                t + delays,
+                receivers,
+                max_estimate[owner],
+                bc=(store, owner, cols.logical[owner], seqs, self._csr_generation),
+            )
+        else:
+            self._ctx._push_broadcasts(
+                self, t + delays, receivers, max_estimate[owner]
+            )
         self.sent_count += count
 
     # -- uniform estimate strategy (scalar fill, set order) -------------
@@ -919,6 +1010,8 @@ class VecContext:
                 raise FastsimError("batched engines must share dt")
             if engine._strategy != self._strategy:
                 raise FastsimError("batched engines must share the estimate strategy")
+            if engine._bc_mode != first._bc_mode:
+                raise FastsimError("batched engines must share the estimate mode")
         self.time = 0.0
         offset = 0
         for engine in self.engines:
@@ -967,20 +1060,50 @@ class VecContext:
 
     # -- transport ------------------------------------------------------
     def _push_broadcasts(
-        self, engine: VecEngine, times: np.ndarray, receivers: np.ndarray, values: np.ndarray
+        self,
+        engine: VecEngine,
+        times: np.ndarray,
+        receivers: np.ndarray,
+        values: np.ndarray,
+        bc=None,
     ) -> None:
-        # Delivery order within a step is irrelevant (max-updates commute),
-        # so an unstable sort is fine.
-        order = np.argsort(times)
-        self._bc_runs.append([times[order], receivers[order], values[order], 0])
+        if bc is None:
+            # Oracle mode: delivery order within a step is irrelevant
+            # (max-updates commute), so an unstable sort is fine.
+            order = np.argsort(times)
+            self._bc_runs.append([times[order], receivers[order], values[order], 0])
+            return
+        # Broadcast estimate mode: deliveries overwrite per-(receiver,
+        # sender) stored state, so order *within* a pair matters.  A stable
+        # (delivery_time, message_id) sort reproduces the reference
+        # transport's delivery order exactly.
+        slots, owners, logicals, seqs, generation = bc
+        order = np.lexsort((seqs, times))
+        self._bc_runs.append(
+            [
+                times[order],
+                receivers[order],
+                values[order],
+                0,
+                (
+                    engine,
+                    slots[order],
+                    owners[order],
+                    logicals[order],
+                    seqs[order],
+                    generation,
+                ),
+            ]
+        )
 
     def _deliver_broadcasts(self, t: float) -> None:
         if not self._bc_runs:
             return
         limit = t + 1e-12
         exhausted = False
+        bc_due: Dict[int, List] = {}
         for run in self._bc_runs:
-            times, receivers, values, start = run
+            times, receivers, values, start = run[:4]
             end = int(np.searchsorted(times, limit, side="right"))
             if end <= start:
                 continue
@@ -992,11 +1115,116 @@ class VecContext:
                 owner = np.searchsorted(self._engine_offsets, due_recv, side="right") - 1
                 for index, count in zip(*np.unique(owner, return_counts=True)):
                     self.engines[index].delivered_count += int(count)
+            if len(run) > 4:
+                engine, slots, owners, logicals, seqs, generation = run[4]
+                entry = bc_due.get(id(engine))
+                if entry is None:
+                    entry = bc_due[id(engine)] = [engine, []]
+                entry[1].append(
+                    (
+                        times[start:end],
+                        seqs[start:end],
+                        slots[start:end],
+                        owners[start:end],
+                        due_recv,
+                        logicals[start:end],
+                        generation,
+                    )
+                )
             run[3] = end
             if end == len(times):
                 exhausted = True
+        for engine, chunks in bc_due.values():
+            self._apply_broadcast_stores(engine, chunks, t)
         if exhausted:
             self._bc_runs = [run for run in self._bc_runs if run[3] < len(run[0])]
+
+    def _apply_broadcast_stores(self, engine: VecEngine, chunks: List, t: float) -> None:
+        """Store one step's due broadcasts into an engine's per-slot state.
+
+        The net effect of delivering a batch in (time, seq) order is
+        "last writer per (receiver, sender) pair wins" (the max-estimate
+        flooding part is already applied order-insensitively by the caller),
+        so the vectorized path keeps only each slot's last entry.  When any
+        contributing chunk predates the engine's current CSR (an edge event
+        rebuilt it while messages were in flight), the pushed slot column is
+        meaningless and every entry is re-resolved scalar-wise in delivery
+        order -- rare (only the steps right after churn) and bounded by the
+        in-flight volume.
+        """
+        generation = engine._csr_generation
+        stale = any(chunk[6] != generation for chunk in chunks)
+        if len(chunks) == 1:
+            times, seqs, slots, owners, recv, logicals, _ = chunks[0]
+        else:
+            times = np.concatenate([c[0] for c in chunks])
+            seqs = np.concatenate([c[1] for c in chunks])
+            slots = np.concatenate([c[2] for c in chunks])
+            owners = np.concatenate([c[3] for c in chunks])
+            recv = np.concatenate([c[4] for c in chunks])
+            logicals = np.concatenate([c[5] for c in chunks])
+            order = np.lexsort((seqs, times))
+            slots = slots[order]
+            owners = owners[order]
+            recv = recv[order]
+            logicals = logicals[order]
+        cols = engine._cols
+        hardware = cols.hardware
+        offset = engine._offset
+        recv_local = recv - offset if offset else recv
+        if stale:
+            ids = cols.ids
+            row_pos = engine._csr.row_pos
+            overflow = engine._bc_overflow
+            value = engine._bc_value
+            hw_col = engine._bc_hw
+            time_col = engine._bc_time
+            valid = engine._bc_valid
+            for j in range(len(recv_local)):
+                position = int(recv_local[j])
+                sender = ids[int(owners[j])]
+                slot = row_pos[position].get(sender)
+                if slot is None:
+                    overflow[(position, sender)] = (
+                        logicals[j], hardware[position], t,
+                    )
+                else:
+                    value[slot] = logicals[j]
+                    hw_col[slot] = hardware[position]
+                    time_col[slot] = t
+                    valid[slot] = True
+            return
+        mask = slots >= 0
+        if mask.all():
+            slots_v = slots
+            logicals_v = logicals
+            recv_v = recv_local
+        else:
+            # Overflow deliveries (receiver row lacks the sender): scalar, in
+            # delivery order.  Slotless and slotted entries never share a
+            # (receiver, sender) pair within one generation, so processing
+            # them separately preserves last-writer semantics.
+            ids = cols.ids
+            overflow = engine._bc_overflow
+            for j in np.nonzero(~mask)[0].tolist():
+                position = int(recv_local[j])
+                overflow[(position, ids[int(owners[j])])] = (
+                    logicals[j], hardware[position], t,
+                )
+            slots_v = slots[mask]
+            logicals_v = logicals[mask]
+            recv_v = recv_local[mask]
+        if not slots_v.size:
+            return
+        # Keep each slot's last entry: first occurrence in the reversed
+        # array is the last in delivery order.
+        reverse = slots_v[::-1]
+        unique_slots, first_index = np.unique(reverse, return_index=True)
+        last = slots_v.size - 1 - first_index
+        engine._bc_value[unique_slots] = logicals_v[last]
+        engine._bc_hw[unique_slots] = hardware[recv_v[last]]
+        engine._bc_time[unique_slots] = t
+        engine._bc_valid[unique_slots] = True
 
     # -- CSR view -------------------------------------------------------
     def _refresh_structure(self) -> None:
@@ -1084,8 +1312,12 @@ class VecContext:
             engine._send_broadcasts(t)
         self._refresh_levels()
         view = self._combined
+        valid = None
         if not view.edge_count:
             ahead = np.empty(0, dtype=np.float64)
+        elif view.bc_valid is not None:  # broadcast estimate mode
+            ahead = kernels.broadcast_aheads(self.hardware, self.logical, view)
+            valid = view.bc_valid
         elif self._strategy == 1:  # uniform: Python draws in set order
             ahead = np.zeros(view.edge_count, dtype=np.float64)
             for engine in self.engines:
@@ -1099,6 +1331,7 @@ class VecContext:
             self.max_estimate,
             self.iota,
             self.mode,
+            valid=valid,
         )
         np.copyto(self.mode, mode_new)
         np.copyto(self.multiplier, np.where(mode_new == 1, self.fast_multiplier, 1.0))

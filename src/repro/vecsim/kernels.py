@@ -87,6 +87,26 @@ def advance_max_estimates(
     np.copyto(max_estimate, scratch)
 
 
+def broadcast_aheads(hardware: np.ndarray, logical: np.ndarray, view) -> np.ndarray:
+    """Per-CSR-entry ``estimate - logical`` for broadcast-mode estimates.
+
+    Mirrors ``BroadcastEstimateLayer.estimate`` elementwise: the stored
+    broadcast value extrapolated at the observer's hardware rate,
+    ``stored + max(0.0, hw_now - stored_hw)``.  Slots without a stored
+    broadcast (``view.bc_valid`` false) produce finite garbage here and are
+    masked out of the trigger evaluation by the caller.  The result aliases
+    the view's scratch and is only valid until the next call.
+    """
+    owner = view.row_owner
+    work = view.edge_f1
+    np.take(hardware, owner, out=work)
+    np.subtract(work, view.bc_hw, out=work)  # elapsed hardware
+    np.maximum(work, 0.0, out=work)  # max(0.0, elapsed)
+    np.add(view.bc_value, work, out=work)  # estimate
+    owner_logical = np.take(logical, owner, out=view.edge_f2)
+    return np.subtract(work, owner_logical, out=work)
+
+
 def edge_aheads(strategy: int, logical: np.ndarray, view) -> np.ndarray:
     """Per-CSR-entry ``estimate - logical`` for the non-random strategies.
 
@@ -132,6 +152,7 @@ def evaluate_modes_vec(
     iota: np.ndarray,
     mode: np.ndarray,
     equality_tolerance: float = 1e-9,
+    valid: np.ndarray = None,
 ) -> np.ndarray:
     """All-nodes counterpart of :func:`repro.core.aopt_step.evaluate_mode_flat`.
 
@@ -149,10 +170,14 @@ def evaluate_modes_vec(
     ``view`` is a combined CSR view (``edge_count``, ``level``, ``starts`` /
     ``empty``, ``thresholds`` of shape ``(T, 4, L)`` padded with ``+inf``,
     ``table_id``).  ``mode`` is the previous step's mode column (read for
-    the "free" case only).  Returns the new mode codes.
+    the "free" case only).  ``valid`` (broadcast estimate mode) masks CSR
+    entries whose pair has not stored a broadcast yet: the scalar engines
+    leave such neighbors out of the trigger view entirely, which is exactly
+    a firing level of 0 here.  Returns the new mode codes.
     """
     n = len(logical)
-    if view.edge_count and view.homogeneous:
+    all_valid = valid is None or bool(valid.all())
+    if view.edge_count and view.homogeneous and all_valid:
         # Single threshold table and every edge at max level: "someone
         # beyond threshold" becomes a comparison of the per-node extremum
         # against the (scalar) per-level threshold -- max commutes with the
@@ -202,6 +227,8 @@ def evaluate_modes_vec(
             ]
         )
         np.minimum(firing, level, out=firing)
+        if not all_valid:
+            np.copyto(firing, 0, where=~valid)
         rows = np.maximum.reduceat(firing, view.starts, axis=1)
         if view.empty.any():
             rows[:, view.empty] = 0

@@ -16,10 +16,10 @@ from repro.network import topology
 # ----------------------------------------------------------------------
 # Shared spec generators for the differential (equivalence) suites
 # ----------------------------------------------------------------------
-#: The seven named scenarios with overrides that shorten the runs while
-#: keeping every mechanism (churn, failover, insertion handshake, drift
-#: variety) in play.  Used by the fastsim, vecsim and streaming-metrics
-#: differential suites.
+#: The named scenarios with overrides that shorten the runs while keeping
+#: every mechanism (churn, failover, insertion handshake, drift variety,
+#: broadcast estimates) in play.  Used by the fastsim, vecsim and
+#: streaming-metrics differential suites.
 EQUIVALENCE_SCENARIO_OVERRIDES = {
     "line_scaling": {"n": 6, "sim": {"duration": 30.0}},
     "end_to_end_insertion": {
@@ -32,6 +32,15 @@ EQUIVALENCE_SCENARIO_OVERRIDES = {
     "star_hub_failover": {"n": 8, "failover_time": 15.0, "duration": 40.0},
     "ring_sinusoidal_drift": {"n": 8, "duration": 30.0},
     "quickstart_line": {"n": 6, "duration": 40.0},
+    "line_broadcast": {"n": 6, "sim": {"duration": 30.0}},
+    "random_broadcast_delay_storm": {"n": 8, "duration": 60.0},
+    "grid_broadcast_partition": {
+        "rows": 3,
+        "cols": 3,
+        "split_time": 10.0,
+        "heal_time": 25.0,
+        "duration": 50.0,
+    },
 }
 
 

@@ -207,6 +207,40 @@ class TestFallbackAccounting:
         assert run.requested_backend == "jit"
         assert runner.stats.fallback_backends == {"jit": 1}
 
+    def test_sweep_stats_attributes_broadcast_fallbacks(self):
+        stats = SweepStats(total=3)
+        stats.count_fallback("fast", estimate_mode="broadcast")
+        stats.count_fallback("jit")
+        assert stats.fallbacks == 2
+        assert stats.fallback_backends == {"fast": 1, "jit": 1}
+        assert stats.broadcast_fallbacks == {"fast": 1}
+        description = stats.describe()
+        assert "broadcast-mode fallbacks: 1 from fast" in description
+
+    def test_broadcast_fallback_is_attributed_per_backend(self, tmp_path, caplog):
+        """A broadcast spec with a feature the fast engine refuses (the
+        diameter tracker) falls back to reference and shows up in the
+        broadcast-specific accounting."""
+        spec = scenario(
+            "line_broadcast",
+            n=4,
+            sim={"duration": 4.0, "track_diameter": True},
+            backend="fast",
+        )
+        runner = ExperimentRunner(cache_dir=tmp_path, workers=1)
+        with caplog.at_level(
+            logging.WARNING, logger="repro.experiments.executor"
+        ):
+            runs, stats = runner.run_all([spec])
+        assert stats.fallbacks == 1
+        assert stats.fallback_backends == {"fast": 1}
+        assert stats.broadcast_fallbacks == {"fast": 1}
+        (run,) = runs
+        assert run.spec.backend == "reference"
+        assert run.requested_backend == "fast"
+        assert runner.stats.broadcast_fallbacks == {"fast": 1}
+        assert "broadcast-mode fallbacks: 1 from fast" in stats.describe()
+
 
 @pytest.mark.skipif(not provider_available(), reason="no jit provider here")
 class TestFloat32OptIn:

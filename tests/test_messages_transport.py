@@ -113,3 +113,47 @@ class TestTransport:
         assert transport.sent_count == 2
         assert transport.delivered_count == 2
         assert transport.dropped_count == 0
+
+    def test_heap_order_matches_scan_order(self):
+        """Regression: the heap delivery order is (delivery_time, message_id).
+
+        The transport used to scan and sort the whole in-flight list every
+        call; the heap must pop in exactly that order -- including ties on
+        delivery time, which fall back to send order via the message id --
+        under interleaved sends, partial drains and messages whose delays
+        make them overtake earlier sends.
+        """
+        import random
+
+        from repro.sim.delay import UniformRandomDelay
+
+        graph = topology.line(6)
+        transport = Transport(graph, UniformRandomDelay(0.0, 1.0, seed=20260808))
+        rng = random.Random(99)
+        edges = [(u, v) for u in graph.nodes for v in graph.neighbors(u)]
+        expected: list = []  # mirror of the old scan: (delivery_time, id, payload)
+        delivered = []
+        payload = 0
+        t = 0.0
+        for _ in range(40):
+            for _ in range(rng.randrange(0, 6)):
+                u, v = rng.choice(edges)
+                envelope = transport.send(u, v, payload, t=t)
+                expected.append(
+                    (envelope.delivery_time, envelope.message_id, payload)
+                )
+                payload += 1
+            due = transport.deliveries_due(t)
+            delivered.extend(env.payload for env in due)
+            t += 0.25
+        delivered.extend(env.payload for env in transport.deliveries_due(1e9))
+        expected.sort()
+        assert delivered == [item[2] for item in expected]
+        assert transport.pending_count() == 0
+
+    def test_tied_delivery_times_pop_in_send_order(self, graph):
+        transport = Transport(graph, ZeroDelay())
+        for payload in range(5):
+            transport.send(0, 1, payload, t=0.0)
+        due = transport.deliveries_due(0.0)
+        assert [env.payload for env in due] == [0, 1, 2, 3, 4]

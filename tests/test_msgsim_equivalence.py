@@ -1,0 +1,219 @@
+"""Differential suite for broadcast (message-layer) estimate mode.
+
+The columnar message transport of the fast/vec backends must reproduce the
+reference engine's broadcast estimate layer *bit-identically*: stored
+broadcast values, per-observer extrapolation, edge-loss forgetting and the
+``(delivery_time, message_id)`` delivery order.  Every assertion here is
+exact payload equality (traces, summaries, metadata) -- no tolerances.
+
+Covers the named broadcast scenarios, randomized fuzz specs, every delay
+model (including the chaos storm wrapper), lossy transport across a
+partition, and the batched vec execution path.
+"""
+
+import random
+
+import pytest
+
+from conftest import FUZZ_DELAYS, make_fuzz_spec
+from repro.experiments import execute_spec, execute_specs_batched, scenario
+from repro.experiments.spec import ComponentSpec, ScenarioSpec
+from repro.fastsim.backend import backend_available
+
+pytest.importorskip("numpy")
+
+#: Named broadcast scenarios with shortened runs (storm windows, the
+#: partition + heal and plenty of broadcast rounds all still happen).
+BROADCAST_SCENARIO_OVERRIDES = {
+    "line_broadcast": {"n": 6, "sim": {"duration": 30.0}},
+    "random_broadcast_delay_storm": {"n": 8, "duration": 60.0},
+    "grid_broadcast_partition": {
+        "rows": 3,
+        "cols": 3,
+        "split_time": 10.0,
+        "heal_time": 25.0,
+        "duration": 50.0,
+    },
+}
+
+
+def assert_equivalent(spec, backend):
+    reference = execute_spec(spec.with_backend("reference"))
+    other = execute_spec(spec.with_backend(backend))
+    assert reference["trace"] == other["trace"], (
+        f"trace mismatch for {spec.label or spec.topology.name} on {backend}"
+    )
+    assert reference["summary"] == other["summary"]
+    assert reference["meta"] == other["meta"]
+    return reference, other
+
+
+def make_broadcast_fuzz_spec(rng, case):
+    """A randomized fuzz spec switched into broadcast estimate mode."""
+    spec = make_fuzz_spec(rng, case, "msgsim_fuzz")
+    sim = dict(spec.sim)
+    sim["estimate_mode"] = "broadcast"
+    sim["broadcast_interval"] = rng.choice([0.5, 1.0, 2.0])
+    return ScenarioSpec(
+        label=spec.label,
+        topology=spec.topology,
+        dynamics=spec.dynamics,
+        drift=spec.drift,
+        delay=spec.delay,
+        algorithm=spec.algorithm,
+        params=spec.params,
+        edge=spec.edge,
+        sim=sim,
+        initial_ramp_per_edge=spec.initial_ramp_per_edge,
+    )
+
+
+class TestNamedBroadcastScenarios:
+    @pytest.mark.parametrize("name", sorted(BROADCAST_SCENARIO_OVERRIDES))
+    @pytest.mark.parametrize("backend", ["fast", "vec"])
+    def test_backends_agree(self, name, backend):
+        spec = scenario(name, **BROADCAST_SCENARIO_OVERRIDES[name])
+        reference, other = assert_equivalent(spec, backend)
+        assert reference["summary"]["sample_count"] > 5
+        assert reference["spec_hash"] == other["spec_hash"]
+
+    def test_partition_scenario_actually_drops_messages(self):
+        """The lossy-partition scenario must exercise the drop + forget path."""
+        from repro.experiments import registry
+        from repro.fastsim.backend import get_backend
+
+        spec = scenario(
+            "grid_broadcast_partition",
+            **BROADCAST_SCENARIO_OVERRIDES["grid_broadcast_partition"],
+        )
+        materialised = registry.build_scenario(spec)
+        engine = get_backend("fast").build(
+            materialised.graph,
+            materialised.algorithm_factory,
+            materialised.config,
+        )
+        engine.run(materialised.config.duration)
+        assert engine.dropped_count > 0
+
+
+class TestBroadcastFuzz:
+    @pytest.mark.parametrize("case", range(6))
+    @pytest.mark.parametrize("backend", ["fast", "vec"])
+    def test_random_broadcast_specs_agree(self, case, backend):
+        rng = random.Random(80210 + case)
+        assert_equivalent(make_broadcast_fuzz_spec(rng, case), backend)
+
+    @pytest.mark.parametrize("delay", FUZZ_DELAYS)
+    @pytest.mark.parametrize("backend", ["fast", "vec"])
+    def test_every_delay_model_agrees(self, delay, backend):
+        spec = ScenarioSpec(
+            label=f"msgsim_delay/{delay[0] if delay else 'default'}",
+            topology=ComponentSpec("line", {"n": 5}),
+            drift=ComponentSpec("two_group", {"swap_period": 5.0}),
+            delay=ComponentSpec(*delay) if delay else None,
+            algorithm=ComponentSpec("aopt", {"global_skew_bound": 25.0}),
+            params={"rho": 0.015, "mu": 0.1},
+            edge={"epsilon": 1.0, "tau": 0.5, "delay": 2.0},
+            sim={
+                "dt": 0.1,
+                "duration": 10.0,
+                "sample_interval": 1.0,
+                "estimate_strategy": "toward_observer",
+                "estimate_mode": "broadcast",
+            },
+            initial_ramp_per_edge=1.0,
+        )
+        assert_equivalent(spec, backend)
+
+    @pytest.mark.parametrize("backend", ["fast", "vec"])
+    def test_storm_delay_model_agrees(self, backend):
+        """The chaos delay wrapper (generic scalar delay plan) in broadcast mode."""
+        spec = ScenarioSpec(
+            label="msgsim_delay/storm",
+            topology=ComponentSpec("ring", {"n": 6}),
+            drift=ComponentSpec("two_group", {"swap_period": 7.0}),
+            delay=ComponentSpec(
+                "delay_spike_storm",
+                {
+                    "inner": "uniform",
+                    "inner_args": {"low_fraction": 0.2, "high_fraction": 0.8},
+                    "period": 8.0,
+                    "width": 3.0,
+                },
+            ),
+            algorithm=ComponentSpec("aopt", {"global_skew_bound": 25.0}),
+            params={"rho": 0.015, "mu": 0.1},
+            edge={"epsilon": 1.0, "tau": 0.5, "delay": 2.0},
+            sim={
+                "dt": 0.1,
+                "duration": 20.0,
+                "sample_interval": 1.0,
+                "estimate_strategy": "toward_observer",
+                "estimate_mode": "broadcast",
+            },
+            initial_ramp_per_edge=1.0,
+        )
+        assert_equivalent(spec, backend)
+
+
+class TestBatchedBroadcastEquivalence:
+    """Batched vec execution of broadcast specs must match per-run execution."""
+
+    def batch_specs(self):
+        return [
+            scenario(
+                "line_broadcast", n=5, sim={"duration": 25.0}, backend="vec"
+            ),
+            scenario(
+                "line_broadcast",
+                n=7,
+                broadcast_interval=0.5,
+                sim={"duration": 25.0},
+                backend="vec",
+            ),
+            scenario(
+                "random_broadcast_delay_storm",
+                n=6,
+                duration=25.0,
+                backend="vec",
+            ),
+        ]
+
+    def test_batched_matches_single(self):
+        specs = self.batch_specs()
+        singles = [execute_spec(spec) for spec in specs]
+        batched = execute_specs_batched(specs)
+        for single, batch in zip(singles, batched):
+            assert single["trace"] == batch["trace"]
+            assert single["summary"] == batch["summary"]
+            assert single["meta"] == batch["meta"]
+
+    def test_batched_matches_reference(self):
+        specs = self.batch_specs()
+        batched = execute_specs_batched(specs)
+        for spec, payload in zip(specs, batched):
+            reference = execute_spec(spec.with_backend("reference"))
+            assert reference["trace"] == payload["trace"]
+            assert reference["summary"] == payload["summary"]
+
+
+class TestJitBroadcastEquivalence:
+    """The jit backend declares broadcast a fusion blocker and inherits the
+    bit-identical vec per-step path."""
+
+    def test_jit_agrees_via_fusion_fallback(self):
+        if not backend_available("jit"):
+            pytest.skip("jit backend unavailable (no provider)")
+        from repro.experiments import registry
+        from repro.fastsim.backend import get_backend
+
+        spec = scenario("line_broadcast", n=5, sim={"duration": 20.0})
+        assert_equivalent(spec, "jit")
+        materialised = registry.build_scenario(spec)
+        engine = get_backend("jit").build(
+            materialised.graph,
+            materialised.algorithm_factory,
+            materialised.config,
+        )
+        blocker = engine._ctx._fusion_blocker()
+        assert blocker is not None and "broadcast" in blocker

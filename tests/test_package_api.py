@@ -68,7 +68,7 @@ def test_module_imports(module_name):
 
 
 def test_version_string():
-    assert repro.__version__ == "1.7.0"
+    assert repro.__version__ == "1.8.0"
 
 
 def test_top_level_exports_resolve():
